@@ -1,0 +1,66 @@
+/**
+ * @file Backlog explorer: execute one of the Table I benchmarks under a
+ * chosen decoder speed and watch the T-gate synchronization stalls —
+ * the Section III effect that motivates the hardware decoder.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "backlog/backlog_sim.hh"
+#include "circuits/benchmarks.hh"
+#include "circuits/decompose.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nisqpp;
+
+    const double f = argc > 1 ? std::atof(argv[1]) : 1.5;
+    const std::string which = argc > 2 ? argv[2] : "takahashi_adder";
+
+    QCircuit circuit(1, "none");
+    bool found = false;
+    for (QCircuit &qc : tableOneBenchmarks()) {
+        if (qc.name() == which) {
+            circuit = qc;
+            found = true;
+        }
+    }
+    if (!found) {
+        std::cerr << "unknown benchmark '" << which
+                  << "'; options: takahashi_adder, "
+                     "barenco_half_dirty_toffoli, cnu_half_borrowed, "
+                     "cnx_log_depth, cuccaro_adder\n";
+        return 1;
+    }
+
+    BacklogParams params;
+    params.decodeCycleNs = f * params.syndromeCycleNs;
+
+    std::cout << "backlog explorer: " << circuit.name() << " ("
+              << decomposedTCount(circuit) << " T gates), f = " << f
+              << "\n\n";
+    const BacklogResult res = simulateBacklog(circuit, params);
+
+    TablePrinter table({"T gate", "stall (us)", "backlog (rounds)"});
+    const std::size_t n = res.tGates.size();
+    for (std::size_t i = 0; i < n;
+         i += std::max<std::size_t>(1, n / 12)) {
+        const auto &ev = res.tGates[i];
+        table.addRow({std::to_string(ev.index),
+                      TablePrinter::num(ev.stallNs / 1e3, 4),
+                      TablePrinter::sci(ev.backlogRounds, 2)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\ncompute " << TablePrinter::sci(res.computeNs, 3)
+              << " ns, wall " << TablePrinter::sci(res.wallNs, 3)
+              << " ns, overhead "
+              << TablePrinter::sci(res.overhead(), 3)
+              << "x\nTry f = 0.05 (the SFQ decoder: 20 ns / 400 ns) "
+                 "versus f = 2 (an 800 ns offline decoder).\n";
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file Decoder shoot-out: accuracy of the SFQ mesh decoder against the
+ * exact MWPM, union-find and software-greedy baselines on identical
+ * error streams, with the mesh's simulated hardware latency alongside.
+ */
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hh"
+#include "decoders/greedy_decoder.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "decoders/union_find_decoder.hh"
+#include "sim/monte_carlo.hh"
+
+int
+main()
+{
+    using namespace nisqpp;
+
+    const int d = 5;
+    const double p = 0.03;
+    const int rounds = 5000;
+    SurfaceLattice lattice(d);
+
+    std::cout << "decoder comparison: d=" << d << ", dephasing p=" << p
+              << ", " << rounds << " lifetime cycles each\n\n";
+
+    std::vector<std::unique_ptr<Decoder>> decoders;
+    decoders.push_back(std::make_unique<MeshDecoder>(
+        lattice, ErrorType::Z, MeshConfig::finalDesign()));
+    decoders.push_back(
+        std::make_unique<MwpmDecoder>(lattice, ErrorType::Z));
+    decoders.push_back(
+        std::make_unique<UnionFindDecoder>(lattice, ErrorType::Z));
+    decoders.push_back(
+        std::make_unique<GreedyDecoder>(lattice, ErrorType::Z));
+
+    TablePrinter table({"decoder", "logical errors", "PL",
+                        "avg decode (sim ns)", "max decode (sim ns)"});
+    DephasingModel model(p);
+    for (auto &dec : decoders) {
+        LifetimeSimulator sim(lattice, model, *dec, nullptr, 777);
+        sim.setLifetimeMode(true);
+        StopRule rule{static_cast<std::size_t>(rounds),
+                      static_cast<std::size_t>(rounds), 1u << 30};
+        const MonteCarloResult res = sim.run(rule);
+        const bool mesh = res.cycles.count() > 0;
+        const double period = MeshConfig{}.cyclePeriodPs * 1e-3;
+        table.addRow(
+            {dec->name(), std::to_string(res.failures),
+             TablePrinter::num(res.logicalErrorRate, 3),
+             mesh ? TablePrinter::num(res.cycles.mean() * period, 3)
+                  : std::string("offline"),
+             mesh ? TablePrinter::num(res.cycles.max() * period, 3)
+                  : std::string("offline")});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe mesh decoder trades accuracy for online "
+                 "operation: it loses a constant factor to MWPM but "
+                 "answers within the ~400 ns syndrome cycle, avoiding "
+                 "the exponential backlog (Sections III and VIII).\n";
+    return 0;
+}

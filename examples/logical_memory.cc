@@ -1,0 +1,52 @@
+/**
+ * @file Logical memory experiment: run the paper's lifetime Monte
+ * Carlo protocol on one lattice and report the logical error rate and
+ * the decoder's real-time execution statistics — the workload behind
+ * Fig. 10 and Table IV.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "sim/monte_carlo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nisqpp;
+
+    const int d = argc > 1 ? std::atoi(argv[1]) : 7;
+    const double p = argc > 2 ? std::atof(argv[2]) : 0.02;
+    const int rounds = argc > 3 ? std::atoi(argv[3]) : 20000;
+
+    std::cout << "logical memory: d=" << d << ", dephasing p=" << p
+              << ", " << rounds << " syndrome cycles\n";
+
+    SurfaceLattice lattice(d);
+    MeshDecoder decoder(lattice, ErrorType::Z);
+    DephasingModel model(p);
+    LifetimeSimulator sim(lattice, model, decoder, nullptr, 2026);
+    sim.setLifetimeMode(true);
+
+    StopRule rule;
+    rule.minTrials = rule.maxTrials = static_cast<std::size_t>(rounds);
+    rule.targetFailures = 1u << 30;
+    const MonteCarloResult res = sim.run(rule);
+
+    std::cout << "logical errors: " << res.failures << " / "
+              << res.trials
+              << " cycles -> PL = " << res.logicalErrorRate << "  (95% CI ["
+              << TablePrinter::num(res.ci.lo, 3) << ", "
+              << TablePrinter::num(res.ci.hi, 3) << "])\n";
+
+    const double period = decoder.config().cyclePeriodPs;
+    std::cout << "decoder timing: avg "
+              << TablePrinter::num(res.cycles.mean() * period * 1e-3, 3)
+              << " ns, max "
+              << TablePrinter::num(res.cycles.max() * period * 1e-3, 3)
+              << " ns over " << res.cycles.count() << " decodes\n"
+              << "(syndrome generation is ~400 ns/cycle: the decoder "
+                 "runs online, f << 1)\n";
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file SQV planner: given a machine size and physical error rate,
+ * evaluate the AQEC design points (code distance, logical qubit count,
+ * gate budget, SQV boost) the way Section VIII sizes Fig. 1.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "backlog/sqv.hh"
+#include "common/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace nisqpp;
+
+    SqvMachine machine;
+    machine.physicalQubits = argc > 1 ? std::atoi(argv[1]) : 1024;
+    machine.physicalErrorRate = argc > 2 ? std::atof(argv[2]) : 1e-5;
+
+    std::cout << "SQV planner: " << machine.physicalQubits
+              << " physical qubits, p = "
+              << machine.physicalErrorRate << ", NISQ target SQV = "
+              << TablePrinter::sci(machine.nisqTargetSqv, 1) << "\n\n";
+
+    // Effective-distance coefficients measured for the SFQ decoder
+    // (paper Table V).
+    const double c2_by_d[] = {0.650, 0.429, 0.306, 0.323};
+    const int ds[] = {3, 5, 7, 9};
+
+    TablePrinter table({"d", "tile qubits", "logical qubits", "PL/gate",
+                        "gates/qubit", "SQV", "boost"});
+    for (int i = 0; i < 4; ++i) {
+        const ScalingModel model{0.03, 0.05, c2_by_d[i]};
+        const SqvPoint pt = sqvPoint(machine, model, ds[i]);
+        if (pt.logicalQubits < 1)
+            break;
+        table.addRow({std::to_string(pt.distance),
+                      std::to_string(SqvMachine::tileQubits(ds[i])),
+                      std::to_string(pt.logicalQubits),
+                      TablePrinter::sci(pt.logicalErrorRate, 2),
+                      TablePrinter::sci(pt.gatesPerQubit, 2),
+                      TablePrinter::sci(pt.sqv, 2),
+                      TablePrinter::num(pt.boost, 5)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPick the distance maximizing SQV subject to the "
+                 "qubit budget; the paper highlights d=3 (x3,402) and "
+                 "d=5 (x11,163) for this machine.\n";
+    return 0;
+}

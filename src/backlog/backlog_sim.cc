@@ -1,0 +1,76 @@
+#include "backlog/backlog_sim.hh"
+
+#include <cmath>
+
+#include "circuits/decompose.hh"
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+BacklogResult
+simulateBacklog(const QCircuit &circuit, const BacklogParams &params)
+{
+    require(params.syndromeCycleNs > 0 && params.decodeCycleNs > 0,
+            "simulateBacklog: cycle times must be positive");
+    const QCircuit expanded = decomposeToffoli(circuit);
+
+    const double rgen = 1.0 / params.syndromeCycleNs;  // rounds per ns
+    const double rproc = 1.0 / params.decodeCycleNs;
+    const double gate_ns =
+        params.roundsPerGate * params.syndromeCycleNs;
+
+    BacklogResult result;
+    double backlog = 0.0; // undecoded rounds
+    int t_index = 0;
+
+    for (const Gate &g : expanded.gates()) {
+        // The gate executes: syndromes accumulate while the decoder
+        // drains what it can.
+        result.computeNs += gate_ns;
+        result.wallNs += gate_ns;
+        backlog += gate_ns * rgen;
+        backlog = std::max(0.0, backlog - gate_ns * rproc);
+
+        if (!isTGate(g.kind))
+            continue;
+
+        // T gates synchronize: drain everything generated so far. The
+        // machine idles while draining, generating fresh backlog.
+        const double stall = backlog / rproc;
+        const double fresh = stall * rgen;
+        result.wallNs += stall;
+        result.idleNs += stall;
+        result.tGates.push_back({t_index++, result.computeNs,
+                                 result.wallNs, stall, backlog});
+        // Saturate instead of overflowing to inf: the exponential blowup
+        // for f > 1 exceeds double range for deep circuits.
+        backlog = std::min(fresh, 1e250);
+        result.wallNs = std::min(result.wallNs, 1e250);
+        result.idleNs = std::min(result.idleNs, 1e250);
+    }
+    return result;
+}
+
+double
+analyticBacklogRounds(double f, int k, double initial_rounds)
+{
+    require(k >= 0, "analyticBacklogRounds: negative k");
+    return initial_rounds * std::pow(f, k);
+}
+
+std::vector<std::pair<double, double>>
+runningTimeVsRatio(const QCircuit &circuit, double syndrome_cycle_ns,
+                   const std::vector<double> &ratios)
+{
+    std::vector<std::pair<double, double>> series;
+    series.reserve(ratios.size());
+    for (double f : ratios) {
+        BacklogParams params;
+        params.syndromeCycleNs = syndrome_cycle_ns;
+        params.decodeCycleNs = f * syndrome_cycle_ns;
+        series.emplace_back(f, simulateBacklog(circuit, params).wallNs);
+    }
+    return series;
+}
+
+} // namespace nisqpp

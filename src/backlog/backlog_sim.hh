@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-event model of the decoding-backlog problem (paper Section
+ * III and Fig. 5, after Terhal [57]). Syndrome data is generated at rate
+ * rgen and decoded at rate rproc; T gates cannot execute until every
+ * syndrome generated before them is decoded. With f = rgen/rproc > 1 the
+ * stall before the k-th T gate grows as f^k — the exponential overhead
+ * the SFQ decoder is built to avoid.
+ */
+
+#ifndef NISQPP_BACKLOG_BACKLOG_SIM_HH
+#define NISQPP_BACKLOG_BACKLOG_SIM_HH
+
+#include <vector>
+
+#include "circuits/circuit.hh"
+
+namespace nisqpp {
+
+/** Timing parameters of the execution-time simulation. */
+struct BacklogParams
+{
+    double syndromeCycleNs = 400.0; ///< per [27]; rgen = 1/this
+    double decodeCycleNs = 400.0;   ///< time to decode one round
+    int roundsPerGate = 1;          ///< syndrome rounds per logical gate
+
+    double f() const { return decodeCycleNs / syndromeCycleNs; }
+};
+
+/** Wall-clock trace entry at one T gate (the Fig. 5 staircase). */
+struct TGateEvent
+{
+    int index;           ///< which T gate (0-based)
+    double computeNs;    ///< ideal time at this gate (no backlog)
+    double wallNs;       ///< actual wall-clock when it executed
+    double stallNs;      ///< idle time spent draining the backlog
+    double backlogRounds;///< rounds outstanding when the gate was reached
+};
+
+/** Result of executing one circuit against a decoder rate. */
+struct BacklogResult
+{
+    double computeNs = 0.0; ///< ideal execution time
+    double wallNs = 0.0;    ///< with decode synchronization
+    double idleNs = 0.0;    ///< total stall
+    std::vector<TGateEvent> tGates;
+
+    double overhead() const
+    {
+        return computeNs > 0 ? wallNs / computeNs : 1.0;
+    }
+};
+
+/**
+ * Execute @p circuit (Toffolis are expanded implicitly; every T/Tdg is
+ * a synchronization point) under @p params.
+ */
+BacklogResult simulateBacklog(const QCircuit &circuit,
+                              const BacklogParams &params);
+
+/**
+ * Closed-form check of the backlog recurrence: the stall before the
+ * k-th T gate scales as f^k x (initial backlog). Exposed for tests and
+ * the Fig. 5 bench.
+ */
+double analyticBacklogRounds(double f, int k, double initial_rounds);
+
+/**
+ * Running time of @p circuit as a function of the syndrome data
+ * processing ratio f = rgen/rproc (the Fig. 6 sweep).
+ */
+std::vector<std::pair<double, double>>
+runningTimeVsRatio(const QCircuit &circuit, double syndrome_cycle_ns,
+                   const std::vector<double> &ratios);
+
+} // namespace nisqpp
+
+#endif // NISQPP_BACKLOG_BACKLOG_SIM_HH

@@ -1,0 +1,111 @@
+#include "backlog/distance_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+DecoderProfile
+DecoderProfile::sfqDecoder()
+{
+    DecoderProfile p;
+    p.name = "SFQ decoder";
+    // Accuracy threshold ~5% (Fig. 10); c2 is the mid-range Table V
+    // coefficient. Decode time follows the measured max-cycle scaling
+    // ~15.75 d cycles at 162.72 ps (Table IV).
+    p.scaling = {0.03, 0.05, 0.42};
+    p.decodeNs = [](int d) { return 15.75 * d * 0.16272; };
+    return p;
+}
+
+DecoderProfile
+DecoderProfile::mwpm()
+{
+    DecoderProfile p;
+    p.name = "MWPM";
+    // Threshold 10.3% [20]; ideal scaling PL = 0.03 (p/pth)^d. Software
+    // matching runs offline at ~1 us per round.
+    p.scaling = {0.03, 0.103, 1.0};
+    p.decodeNs = [](int) { return 1000.0; };
+    return p;
+}
+
+DecoderProfile
+DecoderProfile::neuralNet()
+{
+    DecoderProfile p;
+    p.name = "NNet";
+    // Inference in ~800 ns [6]; accuracy slightly below MWPM.
+    p.scaling = {0.03, 0.095, 0.8};
+    p.decodeNs = [](int) { return 800.0; };
+    return p;
+}
+
+DecoderProfile
+DecoderProfile::unionFind()
+{
+    DecoderProfile p;
+    p.name = "Union Find";
+    // Threshold 0.4% below MWPM (Section VIII); decoding time > 2x the
+    // syndrome generation time.
+    p.scaling = {0.03, 0.099, 1.0};
+    p.decodeNs = [](int) { return 850.0; };
+    return p;
+}
+
+DecoderProfile
+DecoderProfile::mwpmNoBacklog()
+{
+    DecoderProfile p;
+    p.name = "MWPM w/o backlog";
+    p.scaling = {0.03, 0.103, 1.0};
+    p.decodeNs = [](int) { return 0.0; };
+    return p;
+}
+
+double
+logEffectiveGates(double f, int k)
+{
+    require(k >= 1, "logEffectiveGates: need k >= 1");
+    if (f <= 1.0)
+        return std::log(static_cast<double>(k));
+    // sum_{i=1..k} f^i = f (f^k - 1)/(f - 1); in log space for large k:
+    // ~ k ln f + ln(f/(f-1)).
+    const double lf = std::log(f);
+    const double direct = k * lf + std::log(f / (f - 1.0));
+    // For f barely above 1 the closed form loses accuracy; fall back to
+    // the exact sum when it is small enough to evaluate.
+    if (k * lf < 200.0) {
+        double sum = 0.0;
+        double term = 1.0;
+        for (int i = 1; i <= k; ++i) {
+            term *= f;
+            sum += term;
+        }
+        return std::log(sum);
+    }
+    return direct;
+}
+
+std::optional<int>
+requiredDistance(const DecoderProfile &profile, const DistanceQuery &query)
+{
+    const double p = query.physicalErrorRate;
+    if (p >= profile.scaling.pth)
+        return std::nullopt;
+
+    for (int d = 3; d <= query.maxDistance; d += 2) {
+        const double f =
+            profile.decodeNs(d) / query.syndromeCycleNs;
+        const double log_gates = logEffectiveGates(f, query.tGates);
+        const double log_pl =
+            std::log(profile.scaling.c1) +
+            profile.scaling.c2 * d * std::log(p / profile.scaling.pth);
+        if (log_gates + log_pl <= std::log(query.failureBudget))
+            return d;
+    }
+    return std::nullopt;
+}
+
+} // namespace nisqpp

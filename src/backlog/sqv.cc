@@ -1,0 +1,35 @@
+#include "backlog/sqv.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+double
+ScalingModel::logicalErrorRate(int d, double p) const
+{
+    require(d >= 1 && p > 0, "logicalErrorRate: bad arguments");
+    return c1 * std::pow(p / pth, c2 * d);
+}
+
+SqvPoint
+sqvPoint(const SqvMachine &machine, const ScalingModel &model, int d,
+         double pl_override)
+{
+    SqvPoint point;
+    point.distance = d;
+    point.logicalQubits =
+        machine.physicalQubits / SqvMachine::tileQubits(d);
+    point.logicalErrorRate =
+        pl_override > 0
+            ? pl_override
+            : model.logicalErrorRate(d, machine.physicalErrorRate);
+    point.sqv = 1.0 / point.logicalErrorRate;
+    point.gatesPerQubit =
+        point.logicalQubits > 0 ? point.sqv / point.logicalQubits : 0.0;
+    point.boost = point.sqv / machine.nisqTargetSqv;
+    return point;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simple Quantum Volume model (paper Fig. 1 and Section VIII, "Effect on
+ * SQV"). SQV = (number of computational qubits) x (gates per qubit
+ * executable before an error). With AQEC the machine trades physical
+ * qubits for fidelity: the total gate budget becomes 1/PL(d) where
+ * PL(d) = c1 (p/pth)^(c2 d) is the per-gate logical error rate.
+ */
+
+#ifndef NISQPP_BACKLOG_SQV_HH
+#define NISQPP_BACKLOG_SQV_HH
+
+namespace nisqpp {
+
+/** Parameters of the logical-error scaling model. */
+struct ScalingModel
+{
+    double c1 = 0.03;  ///< prefactor (paper references [20])
+    double pth = 0.05; ///< accuracy threshold of the decoder
+    double c2 = 1.0;   ///< effective-distance coefficient (Table V)
+
+    /** Per-gate logical error rate at distance @p d, physical rate @p p. */
+    double logicalErrorRate(int d, double p) const;
+};
+
+/** One Fig. 1 design point. */
+struct SqvPoint
+{
+    int distance = 0;
+    int logicalQubits = 0;     ///< physical budget / tile footprint
+    double logicalErrorRate = 0.0;
+    double gatesPerQubit = 0.0;
+    double sqv = 0.0;          ///< 1 / PL: total gate budget
+    double boost = 0.0;        ///< vs. the NISQ target SQV
+};
+
+/** Machine assumptions behind Fig. 1. */
+struct SqvMachine
+{
+    int physicalQubits = 1024;
+    double physicalErrorRate = 1e-5;
+    double nisqTargetSqv = 1e5;
+
+    /** Data-qubit footprint of one distance-d logical tile. */
+    static int tileQubits(int d) { return d * d + (d - 1) * (d - 1); }
+};
+
+/**
+ * Evaluate the AQEC design point at distance @p d under @p model.
+ * Uses @p pl_override (> 0) instead of the model when given, which lets
+ * the bench reproduce the paper's quoted PL values exactly.
+ */
+SqvPoint sqvPoint(const SqvMachine &machine, const ScalingModel &model,
+                  int d, double pl_override = -1.0);
+
+} // namespace nisqpp
+
+#endif // NISQPP_BACKLOG_SQV_HH

@@ -1,0 +1,176 @@
+#include "circuits/benchmarks.hh"
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+QCircuit
+cuccaroAdder(int n)
+{
+    require(n >= 1, "cuccaroAdder: need n >= 1");
+    // Register layout: cin | a0 b0 | a1 b1 | ... | a_{n-1} b_{n-1} | cout.
+    QCircuit qc(2 * n + 2, "cuccaro_adder");
+    auto a = [&](int i) { return 1 + 2 * i; };
+    auto b = [&](int i) { return 2 + 2 * i; };
+    const int cin = 0;
+    const int cout = 2 * n + 1;
+
+    auto maj = [&](int c, int bq, int aq) {
+        qc.cnot(aq, bq);
+        qc.cnot(aq, c);
+        qc.toffoli(c, bq, aq);
+    };
+    // 3-CNOT UMA variant (Cuccaro et al., Fig. 3): restores the carry
+    // chain while writing the sum, 3 CNOT + 2 X per bit.
+    auto uma = [&](int c, int bq, int aq) {
+        qc.x(bq);
+        qc.cnot(c, bq);
+        qc.toffoli(c, bq, aq);
+        qc.x(bq);
+        qc.cnot(aq, c);
+        qc.cnot(aq, bq);
+    };
+
+    maj(cin, b(0), a(0));
+    for (int i = 1; i < n; ++i)
+        maj(a(i - 1), b(i), a(i));
+    qc.cnot(a(n - 1), cout);
+    for (int i = n - 1; i >= 1; --i)
+        uma(a(i - 1), b(i), a(i));
+    uma(cin, b(0), a(0));
+    return qc;
+}
+
+QCircuit
+takahashiAdder(int n)
+{
+    require(n >= 2, "takahashiAdder: need n >= 2");
+    // Register layout: a0 b0 | a1 b1 | ...; the sum lands in b.
+    QCircuit qc(2 * n, "takahashi_adder");
+    auto a = [&](int i) { return 2 * i; };
+    auto b = [&](int i) { return 2 * i + 1; };
+
+    for (int i = 1; i < n; ++i)
+        qc.cnot(a(i), b(i));
+    for (int i = n - 2; i >= 1; --i)
+        qc.cnot(a(i), a(i + 1));
+    for (int i = 0; i < n - 1; ++i)
+        qc.toffoli(a(i), b(i), a(i + 1));
+    for (int i = n - 1; i >= 1; --i) {
+        qc.cnot(a(i), b(i));
+        qc.toffoli(a(i - 1), b(i - 1), a(i));
+    }
+    for (int i = 1; i < n - 1; ++i)
+        qc.cnot(a(i), a(i + 1));
+    for (int i = 0; i < n; ++i)
+        qc.cnot(a(i), b(i));
+    return qc;
+}
+
+namespace {
+
+/**
+ * The Lemma 7.2 V-chain network shared by the Barenco and half-borrowed
+ * constructions: 4(k-2) Toffolis computing C^k X onto @p target with
+ * k-2 dirty ancillas.
+ */
+QCircuit
+vChainNetwork(int k, const char *name)
+{
+    require(k >= 3, "vChainNetwork: need k >= 3 controls");
+    // Layout: controls c0..c_{k-1}, ancillas a0..a_{k-3}, target t.
+    QCircuit qc(2 * k - 1, name);
+    auto ctrl = [&](int i) { return i; };
+    auto anc = [&](int i) { return k + i; };
+    const int target = 2 * k - 2;
+
+    // G0 couples the top control and top ancilla into the target; Gj
+    // walks the chain down; the last gate couples the two bottom
+    // controls into the bottom ancilla.
+    auto gate = [&](int j) {
+        if (j == 0)
+            qc.toffoli(ctrl(k - 1), anc(k - 3), target);
+        else if (j == k - 2)
+            qc.toffoli(ctrl(0), ctrl(1), anc(0));
+        else
+            qc.toffoli(ctrl(k - 1 - j), anc(k - 3 - j), anc(k - 2 - j));
+    };
+
+    for (int round = 0; round < 2; ++round) {
+        for (int j = 0; j <= k - 2; ++j)
+            gate(j);
+        for (int j = k - 3; j >= 1; --j)
+            gate(j);
+    }
+    return qc;
+}
+
+} // namespace
+
+QCircuit
+barencoHalfDirtyToffoli(int k)
+{
+    return vChainNetwork(k, "barenco_half_dirty_toffoli");
+}
+
+QCircuit
+cnuHalfBorrowed(int k)
+{
+    return vChainNetwork(k, "cnu_half_borrowed");
+}
+
+QCircuit
+cnxLogDepth(int k)
+{
+    require(k >= 2, "cnxLogDepth: need k >= 2 controls");
+    // Layout: controls c0..c_{k-1}, tree ancillas t0..t_{k-2}, spare
+    // ancilla prepared |1>, target.
+    QCircuit qc(2 * k + 1, "cnx_log_depth");
+    const int spare = 2 * k - 1;
+    const int target = 2 * k;
+
+    // Binary AND-reduction: each Toffoli merges two live signals into a
+    // fresh ancilla; k-1 merges reduce k controls to one signal in
+    // ceil(log2 k) layers.
+    std::vector<int> live;
+    for (int i = 0; i < k; ++i)
+        live.push_back(i);
+    int next_anc = k;
+    std::vector<Gate> merges;
+    while (live.size() > 1) {
+        std::vector<int> next_live;
+        for (std::size_t i = 0; i + 1 < live.size(); i += 2) {
+            const int out = next_anc++;
+            qc.toffoli(live[i], live[i + 1], out);
+            merges.push_back({GateKind::Toffoli,
+                              {live[i], live[i + 1], out}});
+            next_live.push_back(out);
+        }
+        if (live.size() % 2 == 1)
+            next_live.push_back(live.back());
+        live = std::move(next_live);
+    }
+    require(next_anc == 2 * k - 1, "cnxLogDepth: ancilla accounting");
+
+    // Apply through the spare (|1>) control, then uncompute the tree.
+    qc.toffoli(live[0], spare, target);
+    for (std::size_t i = merges.size(); i-- > 0;) {
+        const Gate &g = merges[i];
+        qc.toffoli(g.qubits[0], g.qubits[1], g.qubits[2]);
+    }
+    return qc;
+}
+
+std::vector<QCircuit>
+tableOneBenchmarks()
+{
+    std::vector<QCircuit> suite;
+    suite.push_back(takahashiAdder(20));
+    suite.push_back(barencoHalfDirtyToffoli(20));
+    suite.push_back(cnuHalfBorrowed(19));
+    suite.push_back(cnxLogDepth(19));
+    suite.push_back(cuccaroAdder(20));
+    return suite;
+}
+
+} // namespace nisqpp

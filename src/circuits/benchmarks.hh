@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Generators for the five benchmark circuits of paper Table I. The
+ * parameter choices below reproduce the paper's qubit and T-gate counts
+ * exactly:
+ *
+ *  - Takahashi adder, n=20: 40 qubits, 38 Toffolis -> 266 T.
+ *  - Barenco half-dirty Toffoli, k=20 controls: 39 qubits, 72 Toffolis
+ *    -> 504 T.
+ *  - CnU half-borrowed, k=19 controls: 37 qubits, 68 Toffolis -> 476 T.
+ *  - CnX log-depth, k=19 controls: 39 qubits, 37 Toffolis -> 259 T.
+ *  - Cuccaro adder, n=20: 42 qubits, 40 Toffolis -> 280 T.
+ *
+ * All constructions follow Barenco et al. [2], Cuccaro et al., and
+ * Takahashi et al. [53].
+ */
+
+#ifndef NISQPP_CIRCUITS_BENCHMARKS_HH
+#define NISQPP_CIRCUITS_BENCHMARKS_HH
+
+#include <vector>
+
+#include "circuits/circuit.hh"
+
+namespace nisqpp {
+
+/**
+ * Cuccaro ripple-carry adder a + b on two n-bit registers with carry-in
+ * and carry-out (2n + 2 qubits). MAJ = 2 CNOT + Toffoli; UMA is the
+ * 3-CNOT variant (3 CNOT + 2 X + Toffoli).
+ */
+QCircuit cuccaroAdder(int n);
+
+/**
+ * Takahashi-Tani-Kunihiro adder on 2n qubits (no ancilla), linear
+ * depth, 2(n-1) Toffolis.
+ */
+QCircuit takahashiAdder(int n);
+
+/**
+ * Barenco et al. multi-control Toffoli on k controls using k-2 dirty
+ * ancillas (Lemma 7.2 V-chain), 4(k-2) Toffolis, 2k-1 qubits.
+ */
+QCircuit barencoHalfDirtyToffoli(int k);
+
+/**
+ * Multi-control-U with k controls and k-2 borrowed (dirty) ancillas;
+ * same V-chain network as the Barenco construction with the k'th
+ * control folded in, 4(k-2) Toffolis on 2k-1 qubits.
+ */
+QCircuit cnuHalfBorrowed(int k);
+
+/**
+ * Logarithmic-depth CnX on k controls with k-1 clean tree ancillas and
+ * one spare ancilla prepared in |1> (not counted as gates), 2(k-1)+1
+ * Toffolis on 2k+1 qubits.
+ */
+QCircuit cnxLogDepth(int k);
+
+/** The Table I benchmark suite at the paper's parameters. */
+std::vector<QCircuit> tableOneBenchmarks();
+
+} // namespace nisqpp
+
+#endif // NISQPP_CIRCUITS_BENCHMARKS_HH

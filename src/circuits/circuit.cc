@@ -1,0 +1,105 @@
+#include "circuits/circuit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+bool
+isTGate(GateKind kind)
+{
+    return kind == GateKind::T || kind == GateKind::Tdg;
+}
+
+int
+gateArity(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Cnot:
+        return 2;
+      case GateKind::Toffoli:
+        return 3;
+      default:
+        return 1;
+    }
+}
+
+std::string
+gateName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::X: return "x";
+      case GateKind::H: return "h";
+      case GateKind::S: return "s";
+      case GateKind::Sdg: return "sdg";
+      case GateKind::T: return "t";
+      case GateKind::Tdg: return "tdg";
+      case GateKind::Cnot: return "cx";
+      case GateKind::Toffoli: return "ccx";
+    }
+    return "?";
+}
+
+QCircuit::QCircuit(int num_qubits, std::string name)
+    : numQubits_(num_qubits), name_(std::move(name))
+{
+    require(num_qubits > 0, "QCircuit: need at least one qubit");
+}
+
+void
+QCircuit::add(GateKind kind, int a, int b, int c)
+{
+    const Gate gate{kind, {a, b, c}};
+    const int arity = gate.arity();
+    for (int i = 0; i < arity; ++i) {
+        const int q = gate.qubits[i];
+        require(q >= 0 && q < numQubits_, "QCircuit: operand out of range");
+        for (int j = i + 1; j < arity; ++j)
+            require(q != gate.qubits[j],
+                    "QCircuit: repeated operand in one gate");
+    }
+    gates_.push_back(gate);
+}
+
+std::size_t
+QCircuit::countKind(GateKind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [kind](const Gate &g) { return g.kind == kind; }));
+}
+
+std::size_t
+QCircuit::tCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(gates_.begin(), gates_.end(),
+                      [](const Gate &g) { return isTGate(g.kind); }));
+}
+
+int
+QCircuit::depth() const
+{
+    std::vector<int> level(numQubits_, 0);
+    int depth = 0;
+    for (const Gate &g : gates_) {
+        int start = 0;
+        for (int i = 0; i < g.arity(); ++i)
+            start = std::max(start, level[g.qubits[i]]);
+        for (int i = 0; i < g.arity(); ++i)
+            level[g.qubits[i]] = start + 1;
+        depth = std::max(depth, start + 1);
+    }
+    return depth;
+}
+
+void
+QCircuit::append(const QCircuit &other)
+{
+    require(other.numQubits_ <= numQubits_,
+            "QCircuit::append: register too small");
+    gates_.insert(gates_.end(), other.gates_.begin(), other.gates_.end());
+}
+
+} // namespace nisqpp

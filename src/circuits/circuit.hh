@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal quantum circuit IR used to reproduce Table I and to drive the
+ * backlog execution-time model (paper Section III): gate lists with
+ * enough structure to count qubits, total gates, T gates and circuit
+ * depth for the benchmark programs.
+ */
+
+#ifndef NISQPP_CIRCUITS_CIRCUIT_HH
+#define NISQPP_CIRCUITS_CIRCUIT_HH
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nisqpp {
+
+/** Gate alphabet: Cliffords, T, and the composite Toffoli. */
+enum class GateKind : unsigned char
+{
+    X,
+    H,
+    S,
+    Sdg,
+    T,
+    Tdg,
+    Cnot,
+    Toffoli,
+};
+
+/** True for the non-Clifford gates that require decoder synchronization. */
+bool isTGate(GateKind kind);
+
+/** Number of qubit operands of @p kind. */
+int gateArity(GateKind kind);
+
+/** Human-readable mnemonic. */
+std::string gateName(GateKind kind);
+
+/** One gate instance. */
+struct Gate
+{
+    GateKind kind;
+    std::array<int, 3> qubits; ///< unused operands = -1
+
+    int arity() const { return gateArity(kind); }
+};
+
+/** A gate-list quantum circuit on a fixed register. */
+class QCircuit
+{
+  public:
+    QCircuit(int num_qubits, std::string name);
+
+    int numQubits() const { return numQubits_; }
+    const std::string &name() const { return name_; }
+    const std::vector<Gate> &gates() const { return gates_; }
+    std::size_t size() const { return gates_.size(); }
+
+    /** @name Gate emitters @{ */
+    void x(int q) { add(GateKind::X, q); }
+    void h(int q) { add(GateKind::H, q); }
+    void s(int q) { add(GateKind::S, q); }
+    void sdg(int q) { add(GateKind::Sdg, q); }
+    void t(int q) { add(GateKind::T, q); }
+    void tdg(int q) { add(GateKind::Tdg, q); }
+    void cnot(int c, int t) { add(GateKind::Cnot, c, t); }
+    void toffoli(int a, int b, int t) { add(GateKind::Toffoli, a, b, t); }
+    /** @} */
+
+    /** Count of gates of one kind. */
+    std::size_t countKind(GateKind kind) const;
+
+    /** Count of T/Tdg gates (after decomposition these gate the decoder). */
+    std::size_t tCount() const;
+
+    /** Circuit depth: longest chain of operand-sharing gates. */
+    int depth() const;
+
+    /** Append all gates of @p other (register sizes must match). */
+    void append(const QCircuit &other);
+
+  private:
+    void add(GateKind kind, int a, int b = -1, int c = -1);
+
+    int numQubits_;
+    std::string name_;
+    std::vector<Gate> gates_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_CIRCUITS_CIRCUIT_HH

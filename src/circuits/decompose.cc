@@ -1,0 +1,63 @@
+#include "circuits/decompose.hh"
+
+namespace nisqpp {
+
+QCircuit
+decomposeToffoli(const QCircuit &circuit)
+{
+    QCircuit out(circuit.numQubits(), circuit.name() + "+decomposed");
+    for (const Gate &g : circuit.gates()) {
+        if (g.kind != GateKind::Toffoli) {
+            switch (g.kind) {
+              case GateKind::X: out.x(g.qubits[0]); break;
+              case GateKind::H: out.h(g.qubits[0]); break;
+              case GateKind::S: out.s(g.qubits[0]); break;
+              case GateKind::Sdg: out.sdg(g.qubits[0]); break;
+              case GateKind::T: out.t(g.qubits[0]); break;
+              case GateKind::Tdg: out.tdg(g.qubits[0]); break;
+              case GateKind::Cnot:
+                out.cnot(g.qubits[0], g.qubits[1]);
+                break;
+              default: break;
+            }
+            continue;
+        }
+        const int a = g.qubits[0];
+        const int b = g.qubits[1];
+        const int t = g.qubits[2];
+        // Textbook 7-T Toffoli (Nielsen & Chuang Fig. 4.9).
+        out.h(t);
+        out.cnot(b, t);
+        out.tdg(t);
+        out.cnot(a, t);
+        out.t(t);
+        out.cnot(b, t);
+        out.tdg(t);
+        out.cnot(a, t);
+        out.t(b);
+        out.t(t);
+        out.h(t);
+        out.cnot(a, b);
+        out.t(a);
+        out.tdg(b);
+        out.cnot(a, b);
+    }
+    return out;
+}
+
+std::size_t
+decomposedTCount(const QCircuit &circuit)
+{
+    return circuit.tCount() +
+           kToffoliTCount * circuit.countKind(GateKind::Toffoli);
+}
+
+std::size_t
+decomposedGateCount(const QCircuit &circuit, int toffoli_budget)
+{
+    const std::size_t toffolis = circuit.countKind(GateKind::Toffoli);
+    return circuit.size() - toffolis +
+           static_cast<std::size_t>(toffoli_budget) * toffolis;
+}
+
+} // namespace nisqpp

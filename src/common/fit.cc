@@ -1,0 +1,61 @@
+#include "common/fit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+LinearFit
+fitLinear(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    require(xs.size() == ys.size(), "fitLinear: length mismatch");
+    require(xs.size() >= 2, "fitLinear: need at least two points");
+
+    const double n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+        sxx += xs[i] * xs[i];
+        sxy += xs[i] * ys[i];
+        syy += ys[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    require(denom != 0.0, "fitLinear: degenerate x values");
+    LinearFit fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double r = ys[i] - (fit.intercept + fit.slope * xs[i]);
+        ss_res += r * r;
+    }
+    fit.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+ScalingFit
+fitScalingModel(const std::vector<double> &ps,
+                const std::vector<double> &pls, double pth, int d)
+{
+    require(ps.size() == pls.size(), "fitScalingModel: length mismatch");
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        if (pls[i] <= 0.0 || ps[i] <= 0.0)
+            continue;
+        xs.push_back(std::log(ps[i] / pth));
+        ys.push_back(std::log(pls[i]));
+    }
+    require(xs.size() >= 2, "fitScalingModel: not enough nonzero samples");
+    const LinearFit lin = fitLinear(xs, ys);
+    ScalingFit fit;
+    fit.c1 = std::exp(lin.intercept);
+    fit.c2 = lin.slope / static_cast<double>(d);
+    fit.r2 = lin.r2;
+    return fit;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Least-squares fitting utilities. The paper fits the exponential scaling
+ * model PL ~= c1 * (p / pth)^(c2 * d) (Table V); in log space that is an
+ * ordinary linear regression, implemented here.
+ */
+
+#ifndef NISQPP_COMMON_FIT_HH
+#define NISQPP_COMMON_FIT_HH
+
+#include <vector>
+
+namespace nisqpp {
+
+/** Result of a simple linear regression y = a + b x. */
+struct LinearFit
+{
+    double intercept; ///< a
+    double slope;     ///< b
+    double r2;        ///< coefficient of determination
+};
+
+/**
+ * Ordinary least squares on (x, y) pairs.
+ *
+ * @pre xs.size() == ys.size() and at least two distinct x values.
+ */
+LinearFit fitLinear(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+/** Fitted parameters of PL = c1 * (p/pth)^(c2 * d) for one code distance. */
+struct ScalingFit
+{
+    double c1;
+    double c2;
+    double r2;
+};
+
+/**
+ * Fit the paper's scaling model for a single code distance d from
+ * (physical error rate, logical error rate) samples taken below threshold.
+ * Zero-PL samples are skipped (they carry no log-space information).
+ *
+ * @param ps  Physical error rates.
+ * @param pls Measured logical error rates (same length as @p ps).
+ * @param pth Accuracy threshold used to normalize p.
+ * @param d   Code distance (enters the exponent as c2 * d).
+ */
+ScalingFit fitScalingModel(const std::vector<double> &ps,
+                           const std::vector<double> &pls,
+                           double pth, int d);
+
+} // namespace nisqpp
+
+#endif // NISQPP_COMMON_FIT_HH

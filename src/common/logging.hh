@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Minimal logging and error-exit helpers, following the gem5 convention:
+ * fatal() is for user error (bad configuration), panic() is for internal
+ * invariant violations (a bug in this library).
+ */
+
+#ifndef NISQPP_COMMON_LOGGING_HH
+#define NISQPP_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nisqpp {
+
+/** Print "fatal: <msg>" to stderr and exit(1). User-caused conditions. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print "panic: <msg>" to stderr and abort(). Internal bugs only. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Print "warn: <msg>" to stderr and continue. */
+void warn(const std::string &msg);
+
+/** Print "info: <msg>" to stderr and continue. */
+void inform(const std::string &msg);
+
+/**
+ * Check an internal invariant; panics with location info when violated.
+ *
+ * @param cond The invariant that must hold.
+ * @param msg  Description of the violated invariant.
+ */
+inline void
+require(bool cond, const std::string &msg)
+{
+    if (!cond)
+        panic(msg);
+}
+
+} // namespace nisqpp
+
+#endif // NISQPP_COMMON_LOGGING_HH

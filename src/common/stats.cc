@@ -1,0 +1,117 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double nt = na + nb;
+    mean_ += delta * nb / nt;
+    m2_ += other.m2_ + delta * delta * na * nb / nt;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ == 0)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(std::size_t max_value)
+    : bins_(max_value + 1, 0)
+{
+}
+
+void
+Histogram::add(std::size_t value)
+{
+    if (value < bins_.size())
+        ++bins_[value];
+    else
+        ++overflow_;
+    ++total_;
+}
+
+double
+Histogram::density(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(bins_.at(i)) / static_cast<double>(total_);
+}
+
+std::size_t
+Histogram::firstNonzero() const
+{
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        if (bins_[i] > 0)
+            return i;
+    return bins_.size();
+}
+
+std::size_t
+Histogram::lastNonzero() const
+{
+    for (std::size_t i = bins_.size(); i-- > 0;)
+        if (bins_[i] > 0)
+            return i;
+    return 0;
+}
+
+WilsonInterval
+wilson95(std::size_t k, std::size_t n)
+{
+    if (n == 0)
+        return {0.0, 1.0};
+    const double z = 1.959963984540054;
+    const double nn = static_cast<double>(n);
+    const double p = static_cast<double>(k) / nn;
+    const double z2 = z * z;
+    const double denom = 1.0 + z2 / nn;
+    const double center = p + z2 / (2.0 * nn);
+    const double margin =
+        z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+    return {std::max(0.0, (center - margin) / denom),
+            std::min(1.0, (center + margin) / denom)};
+}
+
+} // namespace nisqpp

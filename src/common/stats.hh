@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Streaming statistics and histogram helpers used across the Monte Carlo
+ * harness (Table IV latency statistics, Fig. 10(c) cycle distributions).
+ */
+
+#ifndef NISQPP_COMMON_STATS_HH
+#define NISQPP_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace nisqpp {
+
+/**
+ * Welford-style running mean/variance with min/max tracking. Numerically
+ * stable for the long accumulations produced by lifetime simulation.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (paper reports population-style spreads). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-bin integer histogram; bin i counts observations equal to i, with
+ * a final overflow bin. Used for cycles-to-solution densities.
+ */
+class Histogram
+{
+  public:
+    /** @param max_value Largest value tracked exactly; larger overflow. */
+    explicit Histogram(std::size_t max_value);
+
+    void add(std::size_t value);
+
+    std::size_t total() const { return total_; }
+    std::size_t bin(std::size_t i) const { return bins_.at(i); }
+    std::size_t numBins() const { return bins_.size(); }
+    std::size_t overflow() const { return overflow_; }
+
+    /** Probability mass of bin i (0 when empty). */
+    double density(std::size_t i) const;
+
+    /** Smallest value with nonzero count, or numBins() when empty. */
+    std::size_t firstNonzero() const;
+
+    /** Largest tracked value with nonzero count, or 0 when empty. */
+    std::size_t lastNonzero() const;
+
+  private:
+    std::vector<std::size_t> bins_;
+    std::size_t overflow_ = 0;
+    std::size_t total_ = 0;
+};
+
+/**
+ * Wilson score interval for a binomial proportion; used to report
+ * logical-error-rate confidence bounds in experiment output.
+ */
+struct WilsonInterval
+{
+    double lo;
+    double hi;
+};
+
+/** 95% Wilson interval for k successes out of n trials. */
+WilsonInterval wilson95(std::size_t k, std::size_t n);
+
+} // namespace nisqpp
+
+#endif // NISQPP_COMMON_STATS_HH

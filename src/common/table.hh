@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Aligned plain-text table printer used by every bench binary so the
+ * regenerated tables/figures read like the paper's.
+ */
+
+#ifndef NISQPP_COMMON_TABLE_HH
+#define NISQPP_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nisqpp {
+
+/**
+ * Collects rows of string cells and prints them column-aligned.
+ * Numeric convenience overloads format with sensible precision.
+ */
+class TablePrinter
+{
+  public:
+    /** Set the header row. */
+    explicit TablePrinter(std::vector<std::string> header);
+
+    /** Append one row (must match header arity). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision significant digits. */
+    static std::string num(double v, int precision = 4);
+
+    /** Format a double in scientific notation. */
+    static std::string sci(double v, int precision = 3);
+
+    /** Render the aligned table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (for plotting scripts). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_COMMON_TABLE_HH

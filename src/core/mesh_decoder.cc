@@ -1,0 +1,359 @@
+#include "core/mesh_decoder.hh"
+
+#include <bit>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+namespace {
+
+constexpr int dN = static_cast<int>(Dir::N);
+constexpr int dE = static_cast<int>(Dir::E);
+constexpr int dS = static_cast<int>(Dir::S);
+constexpr int dW = static_cast<int>(Dir::W);
+
+/// kRev[d] = index of the reversed travel direction.
+constexpr int kRev[kNumDirs] = {dS, dW, dN, dE};
+
+} // namespace
+
+MeshDecoder::MeshDecoder(const SurfaceLattice &lattice, ErrorType type,
+                         const MeshConfig &config)
+    : Decoder(lattice, type), config_(config),
+      span_(lattice.gridSize() + 2)
+{
+    require(span_ <= 62, "MeshDecoder: lattice too wide for 64-bit rows");
+    const int n = lattice.gridSize();
+    cycleCap_ = 128 * span_;
+    quiescence_ = 3 * span_ + 10;
+
+    interior_.assign(span_, 0);
+    bnd_.assign(span_, 0);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            interior_[r + 1] |= Word{1} << (c + 1);
+
+    if (config_.boundaryMechanism) {
+        // Without the request-grant arbitration both rings would
+        // answer the same grow rays with pair pulses, composing two
+        // boundary chains into a full crossing; the non-arbitrated
+        // variant therefore hardwires a single responding side (the
+        // final design lets the grant pick either side).
+        const bool both_sides = config_.equidistantMechanism;
+        if (type == ErrorType::Z) {
+            // Z-error chains terminate west/east; ring modules sit next
+            // to the boundary data qubits (even interior rows).
+            for (int r = 0; r < n; r += 2) {
+                bnd_[r + 1] |= Word{1} << 0;
+                if (both_sides)
+                    bnd_[r + 1] |= Word{1} << (n + 1);
+            }
+        } else {
+            for (int c = 0; c < n; c += 2) {
+                bnd_[0] |= Word{1} << (c + 1);
+                if (both_sides)
+                    bnd_[span_ - 1] |= Word{1} << (c + 1);
+            }
+        }
+    }
+
+    valid_.assign(span_, 0);
+    for (int r = 0; r < span_; ++r)
+        valid_[r] = interior_[r] | bnd_[r];
+
+    for (auto *planes : {&g_, &rq_, &gr_, &pr_, &grantLatch_})
+        for (auto &plane : *planes)
+            plane.assign(span_, 0);
+    formed_.assign(span_, 0);
+    fired_.assign(span_, 0);
+    hot_.assign(span_, 0);
+    chain_.assign(span_, 0);
+}
+
+void
+MeshDecoder::clearPlanes(Planes &planes)
+{
+    for (auto &plane : planes)
+        std::fill(plane.begin(), plane.end(), Word{0});
+}
+
+bool
+MeshDecoder::planesEmpty(const Planes &planes) const
+{
+    for (const auto &plane : planes)
+        for (Word w : plane)
+            if (w)
+                return false;
+    return true;
+}
+
+void
+MeshDecoder::shiftPlanes(const Planes &out, Planes &in) const
+{
+    for (int r = 0; r < span_; ++r) {
+        in[dE][r] = (out[dE][r] << 1) & valid_[r];
+        in[dW][r] = (out[dW][r] >> 1) & valid_[r];
+        in[dN][r] = (r + 1 < span_ ? out[dN][r + 1] : Word{0}) & valid_[r];
+        in[dS][r] = (r > 0 ? out[dS][r - 1] : Word{0}) & valid_[r];
+    }
+}
+
+void
+MeshDecoder::step()
+{
+    const bool in_reset = resetCountdown_ > 0;
+
+    Planes g_out, rq_out, gr_out, pr_out;
+    for (auto *planes : {&g_out, &rq_out, &gr_out, &pr_out})
+        for (auto &plane : *planes)
+            plane.assign(span_, 0);
+
+    Word fire_any = 0;
+    std::vector<Word> fire(span_, 0);
+
+    for (int r = 0; r < span_; ++r) {
+        const Word hot = hot_[r];
+        const Word pr_in_any =
+            pr_[dN][r] | pr_[dE][r] | pr_[dS][r] | pr_[dW][r];
+
+        // Pair pulses reaching a hot module complete a pairing.
+        fire[r] = pr_in_any & hot;
+        fire_any |= fire[r];
+
+        // Grow: hot modules emit in all directions (blocked during
+        // reset); interior modules pass. In the variants without the
+        // equidistant mechanism the meets happen on grow trains, so a
+        // formed module consumes them.
+        const Word met_grow =
+            config_.equidistantMechanism ? Word{0} : formed_[r];
+        for (int d = 0; d < kNumDirs; ++d) {
+            g_out[d][r] = g_[d][r] & interior_[r] & ~met_grow;
+            if (!in_reset)
+                g_out[d][r] |= hot;
+        }
+
+        // Meets of grow rays: requests in the final design, pair pulses
+        // directly in the variants without the equidistant mechanism.
+        //
+        // A module that formed a pair latches `formed` (sticky until
+        // the global reset) and consumes the trains that met there: it
+        // emits exactly one pair pulse per leg and stops passing the
+        // met trains, both this cycle (met_now) and afterwards.
+        // Without this, the overlap region of two persistent trains
+        // keeps expanding and excess pair pulses leak through the
+        // cleared endpoints (see DESIGN.md).
+        DirRow<Word> grow_in{g_[dN][r], g_[dE][r], g_[dS][r], g_[dW][r]};
+        const Word formed = formed_[r];
+        const Word form_allow = interior_[r] & ~hot & ~formed;
+        DirRow<Word> pr_raw{0, 0, 0, 0};
+        if (config_.equidistantMechanism) {
+            DirRow<Word> rq_emit{0, 0, 0, 0};
+            emitFromMeets(grow_in, interior_[r] & ~hot, rq_emit);
+            for (int d = 0; d < kNumDirs; ++d) {
+                rq_out[d][r] = (rq_[d][r] & interior_[r] & ~hot) |
+                               rq_emit[d];
+                // Boundary modules answer grow with a request.
+                rq_out[d][r] |= g_[kRev[d]][r] & bnd_[r];
+            }
+
+            // Hot modules latch exactly one grant.
+            DirRow<Word> rq_in{rq_[dN][r], rq_[dE][r], rq_[dS][r],
+                               rq_[dW][r]};
+            DirRow<Word> latch{grantLatch_[dN][r], grantLatch_[dE][r],
+                               grantLatch_[dS][r], grantLatch_[dW][r]};
+            updateGrantLatch(rq_in, hot, latch);
+            for (int d = 0; d < kNumDirs; ++d) {
+                grantLatch_[d][r] = latch[d];
+                // Hot modules do not pass foreign grant trains (they
+                // emit their own); a passed-through train would form
+                // spurious meets beyond the endpoint.
+                gr_out[d][r] =
+                    (gr_[d][r] & interior_[r] & ~hot & ~formed) |
+                    (latch[d] & hot);
+            }
+
+            // Pair pulses form where grant trains meet, and at boundary
+            // modules that received a grant.
+            DirRow<Word> gr_in{gr_[dN][r], gr_[dE][r], gr_[dS][r],
+                               gr_[dW][r]};
+            emitFromMeets(gr_in, form_allow, pr_raw);
+            for (int d = 0; d < kNumDirs; ++d)
+                pr_raw[d] |= gr_[kRev[d]][r] & bnd_[r] & ~formed;
+            const Word met_now =
+                pr_raw[dN] | pr_raw[dE] | pr_raw[dS] | pr_raw[dW];
+            for (int d = 0; d < kNumDirs; ++d)
+                gr_out[d][r] &= ~met_now | (grantLatch_[d][r] & hot);
+            formed_[r] = formed | met_now;
+        } else {
+            emitFromMeets(grow_in, form_allow, pr_raw);
+            for (int d = 0; d < kNumDirs; ++d)
+                pr_raw[d] |= g_[kRev[d]][r] & bnd_[r] & ~formed;
+            const Word met_now =
+                pr_raw[dN] | pr_raw[dE] | pr_raw[dS] | pr_raw[dW];
+            for (int d = 0; d < kNumDirs; ++d)
+                g_out[d][r] &= ~met_now | hot;
+            formed_[r] = formed | met_now;
+        }
+
+        // Emission is one pulse per formation (formed gating above);
+        // non-hot interior modules pass, hot modules absorb. An
+        // endpoint cleared this round keeps absorbing until the
+        // round's pair pulses have drained: otherwise a second pulse
+        // aimed at it (a competing pairing, or the second boundary
+        // ring answering the same grow rays in the variants without
+        // request-grant arbitration) leaks through and paints a bogus
+        // crossing chain.
+        const Word absorb = hot | fired_[r];
+        for (int d = 0; d < kNumDirs; ++d)
+            pr_out[d][r] =
+                (pr_[d][r] & interior_[r] & ~absorb) | pr_raw[d];
+
+        // Chain membership: everything a pair pulse touches, including
+        // the emitting module and the absorbing endpoints. Touches
+        // TOGGLE membership (XOR): chains from successive pairing
+        // rounds that cross the same data qubit must cancel, exactly
+        // as destructive-read DRO error outputs drained after every
+        // pairing would accumulate in the control layer's Pauli frame.
+        chain_[r] ^= pr_out[dN][r] | pr_out[dE][r] | pr_out[dS][r] |
+                     pr_out[dW][r] | fire[r];
+    }
+
+    // Complete pairings: clear latches; maybe fire the global reset.
+    if (fire_any) {
+        for (int r = 0; r < span_; ++r) {
+            stats_.pairings += std::popcount(fire[r]);
+            hot_[r] &= ~fire[r];
+            fired_[r] |= fire[r];
+            for (int d = 0; d < kNumDirs; ++d)
+                grantLatch_[d][r] &= ~fire[r];
+        }
+        lastFire_ = cycle_;
+        if (config_.resetMechanism) {
+            ++stats_.resets;
+            resetCountdown_ = config_.resetCycles;
+            clearPlanes(g_out);
+            clearPlanes(rq_out);
+            clearPlanes(gr_out);
+            // In the final design in-flight pair pulses are exempt so
+            // the farther chain leg completes (Section VI-B); the
+            // paper ties that exemption to the request-grant design,
+            // so the intermediate variants clear them too.
+            if (!config_.equidistantMechanism)
+                clearPlanes(pr_out);
+            for (int r = 0; r < span_; ++r) {
+                formed_[r] = 0;
+                for (int d = 0; d < kNumDirs; ++d)
+                    grantLatch_[d][r] = 0;
+            }
+        }
+    } else if (in_reset) {
+        clearPlanes(g_out);
+        clearPlanes(rq_out);
+        clearPlanes(gr_out);
+    }
+    if (resetCountdown_ > 0) {
+        --resetCountdown_;
+        // End of the reset window: cleared endpoints resume passing
+        // (spurious same-round pulses are gone by now in the final
+        // design; the variants without the pair exemption cleared
+        // them at the reset itself).
+        if (resetCountdown_ == 0)
+            std::fill(fired_.begin(), fired_.end(), Word{0});
+    }
+
+    shiftPlanes(g_out, g_);
+    shiftPlanes(rq_out, rq_);
+    shiftPlanes(gr_out, gr_);
+    shiftPlanes(pr_out, pr_);
+
+    // The pairing round is over once every pair pulse has drained;
+    // cleared endpoints stop absorbing and may serve later chains.
+    if (planesEmpty(pr_))
+        std::fill(fired_.begin(), fired_.end(), Word{0});
+
+    if (trace) {
+        auto plane_cells = [&](const Planes &planes, const char *tag) {
+            for (int d = 0; d < kNumDirs; ++d)
+                for (int r = 0; r < span_; ++r) {
+                    Word w = planes[d][r];
+                    while (w) {
+                        const int bit = std::countr_zero(w);
+                        w &= w - 1;
+                        *trace << ' ' << tag << "NESW"[d] << '('
+                               << r - 1 << ',' << bit - 1 << ')';
+                    }
+                }
+        };
+        *trace << "cycle " << cycle_ << " reset=" << resetCountdown_
+               << " |";
+        plane_cells(pr_, "pr");
+        plane_cells(gr_, "gr");
+        *trace << '\n';
+    }
+    ++cycle_;
+}
+
+Correction
+MeshDecoder::decode(const Syndrome &syndrome)
+{
+    require(syndrome.type() == type(), "MeshDecoder: syndrome type "
+                                       "mismatch");
+    stats_ = MeshDecodeStats{};
+    clearPlanes(g_);
+    clearPlanes(rq_);
+    clearPlanes(gr_);
+    clearPlanes(pr_);
+    clearPlanes(grantLatch_);
+    std::fill(formed_.begin(), formed_.end(), Word{0});
+    std::fill(fired_.begin(), fired_.end(), Word{0});
+    std::fill(hot_.begin(), hot_.end(), Word{0});
+    std::fill(chain_.begin(), chain_.end(), Word{0});
+    resetCountdown_ = 0;
+    lastFire_ = 0;
+    cycle_ = 0;
+
+    for (int a : syndrome.hotList()) {
+        const Coord rc = lattice().ancillaCoord(type(), a);
+        hot_[rc.row + 1] |= Word{1} << (rc.col + 1);
+    }
+
+    auto hot_remaining = [&] {
+        int count = 0;
+        for (Word w : hot_)
+            count += std::popcount(w);
+        return count;
+    };
+
+    while (hot_remaining() > 0 || !planesEmpty(pr_)) {
+        if (cycle_ >= cycleCap_) {
+            stats_.timedOut = true;
+            break;
+        }
+        if (cycle_ - lastFire_ > quiescence_) {
+            stats_.quiesced = true;
+            break;
+        }
+        step();
+    }
+
+    stats_.cycles = cycle_;
+    stats_.remainingHot = hot_remaining();
+
+    Correction corr;
+    const int n = lattice().gridSize();
+    for (int r = 0; r < n; ++r) {
+        Word row = chain_[r + 1] & interior_[r + 1];
+        while (row) {
+            const int bit = std::countr_zero(row);
+            row &= row - 1;
+            const Coord rc{r, bit - 1};
+            if (lattice().role(rc) == SiteRole::Data)
+                corr.dataFlips.push_back(lattice().dataIndex(rc));
+        }
+    }
+    return corr;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,18 @@
+#include "core/module_logic.hh"
+
+// All module-logic primitives are header-only templates shared by the
+// mesh simulator and the netlist generator; explicit instantiations for
+// the word type used by the simulator keep the template honest under
+// separate compilation.
+
+namespace nisqpp {
+
+template void emitFromMeets<std::uint64_t>(
+    const DirRow<std::uint64_t> &, std::uint64_t,
+    DirRow<std::uint64_t> &);
+
+template void updateGrantLatch<std::uint64_t>(
+    const DirRow<std::uint64_t> &, std::uint64_t,
+    DirRow<std::uint64_t> &);
+
+} // namespace nisqpp

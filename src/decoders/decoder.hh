@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Common decoder interface. A decoder maps an error syndrome for one
+ * error type to a correction: the set of data qubits whose corresponding
+ * Pauli component should be flipped (paper Section II-C1).
+ */
+
+#ifndef NISQPP_DECODERS_DECODER_HH
+#define NISQPP_DECODERS_DECODER_HH
+
+#include <string>
+#include <vector>
+
+#include "surface/error_state.hh"
+#include "surface/lattice.hh"
+#include "surface/syndrome.hh"
+
+namespace nisqpp {
+
+/** A decoder's output: data-qubit flips of the decoded error type. */
+struct Correction
+{
+    std::vector<int> dataFlips; ///< compact data indices, XOR semantics
+
+    /** Apply onto an error state (composition = residual computation). */
+    void
+    applyTo(ErrorState &state, ErrorType type) const
+    {
+        for (int d : dataFlips)
+            state.flip(type, d);
+    }
+};
+
+/**
+ * Abstract decoder bound to one lattice and one error type. Decoders are
+ * stateful only in reusable scratch buffers; decode() is deterministic.
+ */
+class Decoder
+{
+  public:
+    Decoder(const SurfaceLattice &lattice, ErrorType type)
+        : lattice_(&lattice), type_(type)
+    {}
+
+    virtual ~Decoder() = default;
+
+    const SurfaceLattice &lattice() const { return *lattice_; }
+    ErrorType type() const { return type_; }
+
+    /** Decode @p syndrome into a correction. */
+    virtual Correction decode(const Syndrome &syndrome) = 0;
+
+    virtual std::string name() const = 0;
+
+  private:
+    const SurfaceLattice *lattice_;
+    ErrorType type_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_DECODER_HH

@@ -1,0 +1,69 @@
+#include "decoders/greedy_decoder.hh"
+
+#include <algorithm>
+#include <tuple>
+
+#include "decoders/path.hh"
+
+namespace nisqpp {
+
+Correction
+GreedyDecoder::decode(const Syndrome &syndrome)
+{
+    pairs_.clear();
+    Correction corr;
+    const MatchingGraph graph(lattice(), type(), syndrome);
+    const int k = graph.numNodes();
+    if (k == 0)
+        return corr;
+
+    struct Candidate
+    {
+        int w;
+        int i;
+        int j; ///< -1 encodes the boundary edge of node i
+    };
+    std::vector<Candidate> edges;
+    edges.reserve(static_cast<std::size_t>(k) * (k + 1) / 2);
+    for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j)
+            edges.push_back({graph.pairWeight(i, j), i, j});
+        edges.push_back({graph.boundaryWeight(i), i, -1});
+    }
+    // Ascending distance = descending likelihood; deterministic
+    // tie-breaking by node indices (boundary edges lose ties so that
+    // syndrome-syndrome pairings are preferred at equal length).
+    auto key = [k](const Candidate &c) {
+        return std::tuple<int, int, int>(c.w, c.i, c.j == -1 ? k : c.j);
+    };
+    std::sort(edges.begin(), edges.end(),
+              [&key](const Candidate &a, const Candidate &b) {
+                  return key(a) < key(b);
+              });
+
+    std::vector<char> matched(k, 0);
+    for (const auto &e : edges) {
+        if (matched[e.i])
+            continue;
+        if (e.j == -1) {
+            matched[e.i] = 1;
+            pairs_.push_back({graph.ancillaOf(e.i), -1, true});
+            const auto leg =
+                chainToBoundary(lattice(), type(), graph.ancillaOf(e.i));
+            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
+                                  leg.end());
+        } else if (!matched[e.j]) {
+            matched[e.i] = matched[e.j] = 1;
+            pairs_.push_back({graph.ancillaOf(e.i), graph.ancillaOf(e.j),
+                              false});
+            const auto leg = chainBetweenAncillas(
+                lattice(), type(), graph.ancillaOf(e.i),
+                graph.ancillaOf(e.j));
+            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
+                                  leg.end());
+        }
+    }
+    return corr;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * The paper's software greedy matching (Section V-B): sort all candidate
+ * pairings by ascending chain length (descending likelihood) and accept
+ * each edge whose endpoints are still free. External boundary nodes are
+ * modeled per ancilla. This is a 2-approximation of the optimal matching
+ * [13] and is the algorithmic ideal the SFQ mesh approximates in time.
+ */
+
+#ifndef NISQPP_DECODERS_GREEDY_DECODER_HH
+#define NISQPP_DECODERS_GREEDY_DECODER_HH
+
+#include "decoders/decoder.hh"
+#include "decoders/matching_graph.hh"
+
+namespace nisqpp {
+
+/** Greedy sorted-edge matching decoder. */
+class GreedyDecoder : public Decoder
+{
+  public:
+    GreedyDecoder(const SurfaceLattice &lattice, ErrorType type)
+        : Decoder(lattice, type)
+    {}
+
+    Correction decode(const Syndrome &syndrome) override;
+
+    std::string name() const override { return "greedy"; }
+
+    /** Pairing decisions of the last decode. */
+    const std::vector<MatchPair> &lastMatching() const { return pairs_; }
+
+  private:
+    std::vector<MatchPair> pairs_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_GREEDY_DECODER_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Exhaustive lookup-table decoder for small lattices. For every possible
+ * syndrome it precomputes a minimum-weight correction by brute force over
+ * all error patterns, which upper-bounds the accuracy of any trained
+ * inference decoder on the same inputs. It stands in for the neural
+ * network decoder baseline [6] whose artifacts are not public (see
+ * DESIGN.md, substitutions).
+ */
+
+#ifndef NISQPP_DECODERS_LUT_DECODER_HH
+#define NISQPP_DECODERS_LUT_DECODER_HH
+
+#include <cstdint>
+
+#include "decoders/decoder.hh"
+
+namespace nisqpp {
+
+/**
+ * Table-driven minimum-weight decoder. Construction cost is
+ * O(2^numData); usable up to d = 3 (8192 patterns) and kept assertive
+ * beyond that.
+ */
+class LutDecoder : public Decoder
+{
+  public:
+    LutDecoder(const SurfaceLattice &lattice, ErrorType type);
+
+    Correction decode(const Syndrome &syndrome) override;
+
+    std::string name() const override { return "lut"; }
+
+    /** Number of syndrome entries in the table. */
+    std::size_t tableSize() const { return table_.size(); }
+
+  private:
+    std::uint32_t syndromeKey(const Syndrome &syndrome) const;
+
+    std::vector<std::uint32_t> table_; ///< syndrome key -> data bitmask
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_LUT_DECODER_HH

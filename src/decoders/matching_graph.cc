@@ -1,0 +1,54 @@
+#include "decoders/matching_graph.hh"
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+MatchingGraph::MatchingGraph(const SurfaceLattice &lattice, ErrorType type,
+                             const Syndrome &syndrome)
+    : lattice_(&lattice), type_(type), nodes_(syndrome.hotList())
+{
+    require(syndrome.type() == type, "MatchingGraph: type mismatch");
+    boundaryDist_.reserve(nodes_.size());
+    for (int a : nodes_)
+        boundaryDist_.push_back(lattice.ancillaBoundaryDistance(type, a));
+}
+
+int
+MatchingGraph::pairWeight(int i, int j) const
+{
+    return lattice_->ancillaGraphDistance(type_, nodes_.at(i),
+                                          nodes_.at(j));
+}
+
+int
+MatchingGraph::boundaryWeight(int i) const
+{
+    return boundaryDist_.at(i);
+}
+
+long
+MatchingGraph::totalWeight(const std::vector<MatchPair> &pairs) const
+{
+    long total = 0;
+    for (const auto &p : pairs) {
+        // Translate ancilla ids back to node slots for weight lookup.
+        int ia = -1, ib = -1;
+        for (int i = 0; i < numNodes(); ++i) {
+            if (nodes_[i] == p.a)
+                ia = i;
+            if (!p.toBoundary && nodes_[i] == p.b)
+                ib = i;
+        }
+        require(ia >= 0, "totalWeight: unknown ancilla in pair");
+        if (p.toBoundary) {
+            total += boundaryWeight(ia);
+        } else {
+            require(ib >= 0, "totalWeight: unknown partner in pair");
+            total += pairWeight(ia, ib);
+        }
+    }
+    return total;
+}
+
+} // namespace nisqpp

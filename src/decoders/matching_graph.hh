@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The syndrome matching graph of paper Section V-A: a complete graph on
+ * the hot ancillas, edge weights equal to the minimal number of data
+ * errors connecting them, plus one virtual boundary node per hot ancilla
+ * (boundary-boundary edges are free). Shared by the MWPM and greedy
+ * software decoders.
+ */
+
+#ifndef NISQPP_DECODERS_MATCHING_GRAPH_HH
+#define NISQPP_DECODERS_MATCHING_GRAPH_HH
+
+#include <vector>
+
+#include "surface/lattice.hh"
+#include "surface/syndrome.hh"
+
+namespace nisqpp {
+
+/** One pairing decision produced by a matching decoder. */
+struct MatchPair
+{
+    int a;          ///< compact ancilla index
+    int b;          ///< partner ancilla index; ignored when toBoundary
+    bool toBoundary;///< whether @p a pairs with its nearest boundary
+};
+
+/** Materialized matching instance for one syndrome. */
+class MatchingGraph
+{
+  public:
+    MatchingGraph(const SurfaceLattice &lattice, ErrorType type,
+                  const Syndrome &syndrome);
+
+    int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** Compact ancilla index of node @p i. */
+    int ancillaOf(int i) const { return nodes_.at(i); }
+
+    /** Chain length (number of data errors) between nodes i and j. */
+    int pairWeight(int i, int j) const;
+
+    /** Chain length from node @p i to its nearest valid boundary. */
+    int boundaryWeight(int i) const;
+
+    /** Total weight of a matching (pairs + boundary legs). */
+    long totalWeight(const std::vector<MatchPair> &pairs) const;
+
+  private:
+    const SurfaceLattice *lattice_;
+    ErrorType type_;
+    std::vector<int> nodes_;
+    std::vector<int> boundaryDist_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_MATCHING_GRAPH_HH

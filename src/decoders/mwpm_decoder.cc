@@ -1,0 +1,52 @@
+#include "decoders/mwpm_decoder.hh"
+
+#include "common/logging.hh"
+#include "decoders/blossom.hh"
+#include "decoders/path.hh"
+
+namespace nisqpp {
+
+Correction
+MwpmDecoder::decode(const Syndrome &syndrome)
+{
+    pairs_.clear();
+    Correction corr;
+    const MatchingGraph graph(lattice(), type(), syndrome);
+    const int k = graph.numNodes();
+    if (k == 0)
+        return corr;
+
+    // Nodes 0..k-1 are syndromes; k..2k-1 their private boundary nodes.
+    BlossomMatcher matcher(2 * k);
+    for (int i = 0; i < k; ++i) {
+        for (int j = i + 1; j < k; ++j)
+            matcher.setWeight(i, j, graph.pairWeight(i, j));
+        matcher.setWeight(i, k + i, graph.boundaryWeight(i));
+        for (int j = i + 1; j < k; ++j)
+            matcher.setWeight(k + i, k + j, 0);
+    }
+    std::vector<int> mate;
+    matcher.solve(mate);
+
+    for (int i = 0; i < k; ++i) {
+        const int m = mate[i];
+        require(m >= 0, "MwpmDecoder: unmatched node");
+        if (m == k + i) {
+            pairs_.push_back({graph.ancillaOf(i), -1, true});
+            const auto leg =
+                chainToBoundary(lattice(), type(), graph.ancillaOf(i));
+            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
+                                  leg.end());
+        } else if (m < k && m > i) {
+            pairs_.push_back({graph.ancillaOf(i), graph.ancillaOf(m),
+                              false});
+            const auto leg = chainBetweenAncillas(
+                lattice(), type(), graph.ancillaOf(i), graph.ancillaOf(m));
+            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
+                                  leg.end());
+        }
+    }
+    return corr;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Exact minimum-weight perfect matching decoder (the paper's primary
+ * software baseline, Section IV). Builds the standard syndrome graph:
+ * one node per hot ancilla plus one virtual boundary node per hot
+ * ancilla, boundary-boundary edges free, and solves it exactly with the
+ * blossom matcher.
+ */
+
+#ifndef NISQPP_DECODERS_MWPM_DECODER_HH
+#define NISQPP_DECODERS_MWPM_DECODER_HH
+
+#include "decoders/decoder.hh"
+#include "decoders/matching_graph.hh"
+
+namespace nisqpp {
+
+/** Exact MWPM decoder. */
+class MwpmDecoder : public Decoder
+{
+  public:
+    MwpmDecoder(const SurfaceLattice &lattice, ErrorType type)
+        : Decoder(lattice, type)
+    {}
+
+    Correction decode(const Syndrome &syndrome) override;
+
+    std::string name() const override { return "mwpm"; }
+
+    /** The pairing decisions of the last decode (for inspection). */
+    const std::vector<MatchPair> &lastMatching() const { return pairs_; }
+
+  private:
+    std::vector<MatchPair> pairs_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_MWPM_DECODER_HH

@@ -1,0 +1,74 @@
+#include "decoders/path.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+namespace {
+
+/** Append the data sites strictly between two columns on one row. */
+void
+appendHorizontalLeg(const SurfaceLattice &lat, int row, int c0, int c1,
+                    std::vector<int> &out)
+{
+    const int lo = std::min(c0, c1);
+    const int hi = std::max(c0, c1);
+    for (int c = lo + 1; c < hi; c += 2)
+        out.push_back(lat.dataIndex({row, c}));
+}
+
+/** Append the data sites strictly between two rows on one column. */
+void
+appendVerticalLeg(const SurfaceLattice &lat, int col, int r0, int r1,
+                  std::vector<int> &out)
+{
+    const int lo = std::min(r0, r1);
+    const int hi = std::max(r0, r1);
+    for (int r = lo + 1; r < hi; r += 2)
+        out.push_back(lat.dataIndex({r, col}));
+}
+
+} // namespace
+
+std::vector<int>
+chainBetweenAncillas(const SurfaceLattice &lattice, ErrorType type, int a,
+                     int b)
+{
+    const Coord ca = lattice.ancillaCoord(type, a);
+    const Coord cb = lattice.ancillaCoord(type, b);
+    std::vector<int> chain;
+    // Horizontal leg on a's row to b's column, then vertical leg on b's
+    // column: the same L shape the mesh decoder's corner pairing traces.
+    appendHorizontalLeg(lattice, ca.row, ca.col, cb.col, chain);
+    appendVerticalLeg(lattice, cb.col, ca.row, cb.row, chain);
+    return chain;
+}
+
+std::vector<int>
+chainToBoundary(const SurfaceLattice &lattice, ErrorType type, int a)
+{
+    const Coord ca = lattice.ancillaCoord(type, a);
+    const int n = lattice.gridSize();
+    std::vector<int> chain;
+    if (type == ErrorType::Z) {
+        // Chains terminate west/east.
+        const int west = (ca.col + 1) / 2;
+        const int east = (n - ca.col) / 2;
+        if (west <= east)
+            appendHorizontalLeg(lattice, ca.row, ca.col, -1, chain);
+        else
+            appendHorizontalLeg(lattice, ca.row, ca.col, n, chain);
+    } else {
+        const int north = (ca.row + 1) / 2;
+        const int south = (n - ca.row) / 2;
+        if (north <= south)
+            appendVerticalLeg(lattice, ca.col, ca.row, -1, chain);
+        else
+            appendVerticalLeg(lattice, ca.col, ca.row, n, chain);
+    }
+    return chain;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Correction-chain construction shared by the matching-based decoders:
+ * the data qubits along an L-shaped lattice path between two paired
+ * ancillas (horizontal leg first, then vertical), or the straight path
+ * from an ancilla to its nearest valid boundary. By construction such a
+ * chain flips exactly the two endpoint ancillas (interior ancillas are
+ * crossed twice), mirroring how the mesh decoder's pair signals trace
+ * chains (paper Fig. 7).
+ */
+
+#ifndef NISQPP_DECODERS_PATH_HH
+#define NISQPP_DECODERS_PATH_HH
+
+#include <vector>
+
+#include "surface/lattice.hh"
+
+namespace nisqpp {
+
+/**
+ * Data qubits (compact indices) forming a minimal chain between two
+ * ancillas of the family detecting @p type errors.
+ */
+std::vector<int> chainBetweenAncillas(const SurfaceLattice &lattice,
+                                      ErrorType type, int a, int b);
+
+/**
+ * Data qubits forming the minimal chain from ancilla @p a to its nearest
+ * valid boundary (west/east for Z errors, north/south for X errors).
+ */
+std::vector<int> chainToBoundary(const SurfaceLattice &lattice,
+                                 ErrorType type, int a);
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_PATH_HH

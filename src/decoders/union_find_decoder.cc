@@ -1,0 +1,185 @@
+#include "decoders/union_find_decoder.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+UnionFindDecoder::UnionFindDecoder(const SurfaceLattice &lattice,
+                                   ErrorType type)
+    : Decoder(lattice, type)
+{
+    const int na = lattice.numAncilla(type);
+    numAncillaVertices_ = na;
+    numVertices_ = na;
+    incident_.resize(na);
+
+    // Ancilla-ancilla edges: one per interior data qubit (it has exactly
+    // two detecting ancillas); ancilla-boundary edges: one per boundary
+    // data qubit, with a private virtual boundary vertex.
+    for (int d = 0; d < lattice.numData(); ++d) {
+        const auto &ancs = lattice.dataAncillaNeighbors(type, d);
+        if (ancs.size() == 2) {
+            const int id = static_cast<int>(edges_.size());
+            edges_.push_back({ancs[0], ancs[1], d});
+            incident_[ancs[0]].push_back(id);
+            incident_[ancs[1]].push_back(id);
+        } else if (ancs.size() == 1) {
+            const int bv = numVertices_++;
+            incident_.emplace_back();
+            const int id = static_cast<int>(edges_.size());
+            edges_.push_back({ancs[0], bv, d});
+            incident_[ancs[0]].push_back(id);
+            incident_[bv].push_back(id);
+        } else {
+            panic("UnionFindDecoder: data qubit with no detecting "
+                  "ancilla");
+        }
+    }
+}
+
+int
+UnionFindDecoder::find(int v)
+{
+    while (parent_[v] != v) {
+        parent_[v] = parent_[parent_[v]];
+        v = parent_[v];
+    }
+    return v;
+}
+
+void
+UnionFindDecoder::unite(int a, int b)
+{
+    a = find(a);
+    b = find(b);
+    if (a == b)
+        return;
+    if (rank_[a] < rank_[b])
+        std::swap(a, b);
+    parent_[b] = a;
+    if (rank_[a] == rank_[b])
+        ++rank_[a];
+    parity_[a] ^= parity_[b];
+    boundary_[a] |= boundary_[b];
+}
+
+Correction
+UnionFindDecoder::decode(const Syndrome &syndrome)
+{
+    Correction corr;
+    lastRounds_ = 0;
+    if (syndrome.weight() == 0)
+        return corr;
+
+    parent_.resize(numVertices_);
+    rank_.assign(numVertices_, 0);
+    parity_.assign(numVertices_, 0);
+    boundary_.assign(numVertices_, 0);
+    for (int v = 0; v < numVertices_; ++v)
+        parent_[v] = v;
+    for (int v = numAncillaVertices_; v < numVertices_; ++v)
+        boundary_[v] = 1;
+    for (int a = 0; a < numAncillaVertices_; ++a)
+        parity_[a] = syndrome.hot(a);
+
+    // Cluster growth: odd non-boundary clusters add half-edge support to
+    // all edges on their border each round; edges with full support merge
+    // their endpoints.
+    std::vector<char> support(edges_.size(), 0);
+    auto clusterActive = [&](int v) {
+        const int r = find(v);
+        return parity_[r] && !boundary_[r];
+    };
+
+    for (;;) {
+        bool any_active = false;
+        std::vector<int> grown;
+        for (std::size_t e = 0; e < edges_.size(); ++e) {
+            if (support[e] >= 2)
+                continue;
+            const bool a_act = clusterActive(edges_[e].u);
+            const bool b_act = clusterActive(edges_[e].v);
+            const int inc = (a_act ? 1 : 0) + (b_act ? 1 : 0);
+            if (inc == 0)
+                continue;
+            any_active = true;
+            support[e] = static_cast<char>(
+                std::min(2, support[e] + inc));
+            if (support[e] >= 2)
+                grown.push_back(static_cast<int>(e));
+        }
+        if (!any_active)
+            break;
+        ++lastRounds_;
+        for (int e : grown)
+            unite(edges_[e].u, edges_[e].v);
+        require(lastRounds_ <= 4 * lattice().gridSize() + 8,
+                "UnionFindDecoder: growth failed to converge");
+    }
+
+    // Peeling on the erasure (fully grown edges): build a BFS forest per
+    // cluster rooted at a boundary vertex when available, then peel from
+    // the leaves inward, flipping tree edges below hot vertices.
+    std::vector<char> hot(numVertices_, 0);
+    for (int a = 0; a < numAncillaVertices_; ++a)
+        hot[a] = syndrome.hot(a);
+
+    std::vector<int> parent_edge(numVertices_, -1);
+    std::vector<int> bfs_order;
+    std::vector<char> visited(numVertices_, 0);
+    bfs_order.reserve(numVertices_);
+
+    auto bfsFrom = [&](int root) {
+        std::queue<int> q;
+        q.push(root);
+        visited[root] = 1;
+        while (!q.empty()) {
+            const int v = q.front();
+            q.pop();
+            bfs_order.push_back(v);
+            for (int e : incident_[v]) {
+                if (support[e] < 2)
+                    continue;
+                const int w = edges_[e].u == v ? edges_[e].v
+                                               : edges_[e].u;
+                if (visited[w])
+                    continue;
+                visited[w] = 1;
+                parent_edge[w] = e;
+                q.push(w);
+            }
+        }
+    };
+
+    // Boundary roots first so leftover parity drains into boundaries.
+    for (int v = numAncillaVertices_; v < numVertices_; ++v)
+        if (!visited[v])
+            bfsFrom(v);
+    for (int v = 0; v < numAncillaVertices_; ++v)
+        if (!visited[v])
+            bfsFrom(v);
+
+    for (std::size_t i = bfs_order.size(); i-- > 0;) {
+        const int v = bfs_order[i];
+        if (!hot[v] || parent_edge[v] < 0)
+            continue;
+        const GraphEdge &e = edges_[parent_edge[v]];
+        const int p = e.u == v ? e.v : e.u;
+        corr.dataFlips.push_back(e.dataIdx);
+        hot[v] = 0;
+        hot[p] ^= 1;
+    }
+
+    // Boundary vertices absorb anything left; every interior vertex must
+    // have drained (non-roots by the peel, interior roots because their
+    // cluster parity is even by the growth exit condition).
+    for (int v = 0; v < numAncillaVertices_; ++v)
+        require(!hot[v],
+                "UnionFindDecoder: peeling left a hot interior vertex");
+    return corr;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Union-Find decoder (Delfosse & Nickerson [9], one of the paper's
+ * approximate-baseline comparisons in Fig. 11). Odd clusters grow by
+ * half-edges on the ancilla graph, merge through a union-find structure
+ * tracking parity and boundary contact, and the final erasure is peeled
+ * to a correction.
+ */
+
+#ifndef NISQPP_DECODERS_UNION_FIND_DECODER_HH
+#define NISQPP_DECODERS_UNION_FIND_DECODER_HH
+
+#include "decoders/decoder.hh"
+
+namespace nisqpp {
+
+/** Almost-linear-time union-find decoder. */
+class UnionFindDecoder : public Decoder
+{
+  public:
+    UnionFindDecoder(const SurfaceLattice &lattice, ErrorType type);
+
+    Correction decode(const Syndrome &syndrome) override;
+
+    std::string name() const override { return "union-find"; }
+
+    /** Growth rounds used by the last decode (telemetry). */
+    int lastGrowthRounds() const { return lastRounds_; }
+
+  private:
+    struct GraphEdge
+    {
+        int u;       ///< vertex index (ancilla or virtual boundary)
+        int v;
+        int dataIdx; ///< data qubit flipped by this edge
+    };
+
+    int find(int v);
+    void unite(int a, int b);
+
+    // Static decoding graph: ancilla vertices then virtual boundary
+    // vertices (one per boundary-adjacent ancilla).
+    std::vector<GraphEdge> edges_;
+    std::vector<std::vector<int>> incident_; ///< vertex -> edge ids
+    int numAncillaVertices_ = 0;
+    int numVertices_ = 0;
+
+    // Per-decode state.
+    std::vector<int> parent_;
+    std::vector<int> rank_;
+    std::vector<char> parity_;   ///< per root: odd hot count
+    std::vector<char> boundary_; ///< per root: touches a boundary vertex
+    int lastRounds_ = 0;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_DECODERS_UNION_FIND_DECODER_HH

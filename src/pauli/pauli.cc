@@ -1,0 +1,17 @@
+#include "pauli/pauli.hh"
+
+namespace nisqpp {
+
+std::string
+toString(Pauli p)
+{
+    switch (p) {
+      case Pauli::I: return "I";
+      case Pauli::X: return "X";
+      case Pauli::Z: return "Z";
+      case Pauli::Y: return "Y";
+    }
+    return "?";
+}
+
+} // namespace nisqpp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Single-qubit Pauli operators and their group algebra (phase-free).
+ * The surface code discretizes continuous qubit errors into exactly this
+ * set {I, X, Y, Z} (paper Section II-C), so the whole Monte Carlo substrate
+ * works over these symbols.
+ */
+
+#ifndef NISQPP_PAULI_PAULI_HH
+#define NISQPP_PAULI_PAULI_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nisqpp {
+
+/**
+ * A single-qubit Pauli, encoded in two bits: bit0 = X component,
+ * bit1 = Z component. Y = X * Z (phase discarded — error analysis only
+ * needs the group modulo phase).
+ */
+enum class Pauli : std::uint8_t
+{
+    I = 0, ///< identity
+    X = 1, ///< bit-flip
+    Z = 2, ///< phase-flip
+    Y = 3, ///< simultaneous bit- and phase-flip
+};
+
+/** True when the operator has an X component (X or Y). */
+inline bool
+hasX(Pauli p)
+{
+    return static_cast<std::uint8_t>(p) & 1u;
+}
+
+/** True when the operator has a Z component (Z or Y). */
+inline bool
+hasZ(Pauli p)
+{
+    return static_cast<std::uint8_t>(p) & 2u;
+}
+
+/** Group product modulo phase: XY = Z etc. (abelian mod phase). */
+inline Pauli
+mul(Pauli a, Pauli b)
+{
+    return static_cast<Pauli>(static_cast<std::uint8_t>(a) ^
+                              static_cast<std::uint8_t>(b));
+}
+
+/**
+ * Whether two single-qubit Paulis commute. I commutes with everything;
+ * distinct non-identity Paulis anticommute.
+ */
+inline bool
+commutes(Pauli a, Pauli b)
+{
+    // Symplectic form: a_x*b_z + a_z*b_x mod 2.
+    const auto ax = static_cast<std::uint8_t>(hasX(a));
+    const auto az = static_cast<std::uint8_t>(hasZ(a));
+    const auto bx = static_cast<std::uint8_t>(hasX(b));
+    const auto bz = static_cast<std::uint8_t>(hasZ(b));
+    return ((ax & bz) ^ (az & bx)) == 0;
+}
+
+/** Build a Pauli from its X/Z component bits. */
+inline Pauli
+fromXZ(bool x, bool z)
+{
+    return static_cast<Pauli>((x ? 1u : 0u) | (z ? 2u : 0u));
+}
+
+/** One-letter name, e.g. "X". */
+std::string toString(Pauli p);
+
+} // namespace nisqpp
+
+#endif // NISQPP_PAULI_PAULI_HH

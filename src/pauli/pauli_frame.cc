@@ -1,0 +1,95 @@
+#include "pauli/pauli_frame.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+PauliFrame::PauliFrame(std::size_t num_qubits)
+    : x_(num_qubits, 0), z_(num_qubits, 0)
+{
+}
+
+void
+PauliFrame::clear()
+{
+    std::fill(x_.begin(), x_.end(), 0);
+    std::fill(z_.begin(), z_.end(), 0);
+}
+
+void
+PauliFrame::reset(std::size_t q)
+{
+    checkIndex(q);
+    x_[q] = 0;
+    z_[q] = 0;
+}
+
+void
+PauliFrame::inject(std::size_t q, Pauli p)
+{
+    checkIndex(q);
+    x_[q] ^= static_cast<char>(hasX(p));
+    z_[q] ^= static_cast<char>(hasZ(p));
+}
+
+Pauli
+PauliFrame::frame(std::size_t q) const
+{
+    checkIndex(q);
+    return fromXZ(x_[q], z_[q]);
+}
+
+void
+PauliFrame::applyH(std::size_t q)
+{
+    checkIndex(q);
+    std::swap(x_[q], z_[q]);
+}
+
+void
+PauliFrame::applyS(std::size_t q)
+{
+    checkIndex(q);
+    // S X S^dag = Y: an X component gains a Z component.
+    z_[q] ^= x_[q];
+}
+
+void
+PauliFrame::applyCnot(std::size_t control, std::size_t target)
+{
+    checkIndex(control);
+    checkIndex(target);
+    require(control != target, "applyCnot: control == target");
+    x_[target] ^= x_[control];
+    z_[control] ^= z_[target];
+}
+
+void
+PauliFrame::applyCz(std::size_t a, std::size_t b)
+{
+    checkIndex(a);
+    checkIndex(b);
+    require(a != b, "applyCz: identical operands");
+    z_[b] ^= x_[a];
+    z_[a] ^= x_[b];
+}
+
+bool
+PauliFrame::measureZ(std::size_t q)
+{
+    checkIndex(q);
+    const bool flipped = x_[q];
+    x_[q] = 0;
+    z_[q] = 0;
+    return flipped;
+}
+
+void
+PauliFrame::checkIndex(std::size_t q) const
+{
+    require(q < x_.size(), "PauliFrame: qubit index out of range");
+}
+
+} // namespace nisqpp

@@ -1,0 +1,56 @@
+#include "sfq/cell_library.hh"
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+const CellInfo &
+cellInfo(CellKind kind)
+{
+    // Area / JJ / delay from paper Table II. Logic-gate power matches
+    // the 0.026 uW per gate of Table III; the DFF is scaled by its
+    // area ratio (3360/4200).
+    static const CellInfo kInput{"INPUT", 0.0, 0, 0.0, 0.0};
+    static const CellInfo kAnd{"AND2", 4200.0, 17, 9.2, 0.026};
+    static const CellInfo kOr{"OR2", 4200.0, 12, 7.2, 0.026};
+    static const CellInfo kXor{"XOR2", 4200.0, 12, 5.7, 0.026};
+    static const CellInfo kNot{"NOT", 4200.0, 13, 9.2, 0.026};
+    static const CellInfo kDff{"DRO_DFF", 3360.0, 10, 5.0, 0.0208};
+    switch (kind) {
+      case CellKind::Input: return kInput;
+      case CellKind::And2: return kAnd;
+      case CellKind::Or2: return kOr;
+      case CellKind::Xor2: return kXor;
+      case CellKind::Not: return kNot;
+      case CellKind::DroDff: return kDff;
+    }
+    panic("cellInfo: unknown cell kind");
+}
+
+int
+cellArity(CellKind kind)
+{
+    switch (kind) {
+      case CellKind::Input: return 0;
+      case CellKind::Not:
+      case CellKind::DroDff: return 1;
+      default: return 2;
+    }
+}
+
+bool
+evalCell(CellKind kind, bool a, bool b)
+{
+    switch (kind) {
+      case CellKind::Input:
+        panic("evalCell: inputs have no function");
+      case CellKind::And2: return a && b;
+      case CellKind::Or2: return a || b;
+      case CellKind::Xor2: return a != b;
+      case CellKind::Not: return !a;
+      case CellKind::DroDff: return a;
+    }
+    panic("evalCell: unknown cell kind");
+}
+
+} // namespace nisqpp

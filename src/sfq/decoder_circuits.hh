@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Gate-level netlist constructions of the decoder module subcircuits
+ * (paper Fig. 9 and Table III): the combined Pair_Req/Grow subcircuit,
+ * the Pair_Grant subcircuit (with its one-hot grant latch), the Pair
+ * subcircuit (grant meets, chain marking and the reset trigger), and the
+ * Reset keeper (five cascaded buffers ORed with the global wire — the
+ * 7-input OR of Table III). The boolean equations are the ones the mesh
+ * simulator evaluates row-parallel; the netlist simulator proves the two
+ * agree (tests/sfq/test_decoder_circuits.cc).
+ *
+ * Signal naming: directions are travel directions n/e/s/w; inputs are
+ * "g_n", "rq_e", "gr_s", "pr_w", plus "hot", "reset", "boundary".
+ */
+
+#ifndef NISQPP_SFQ_DECODER_CIRCUITS_HH
+#define NISQPP_SFQ_DECODER_CIRCUITS_HH
+
+#include "sfq/netlist.hh"
+
+namespace nisqpp {
+
+/** Direction suffixes in netlist port names, travel-direction order. */
+extern const char *const kDirName[4];
+
+/**
+ * Grow + Pair_Req subcircuit: grow pass/emit with reset gating, grow
+ * meets with effectiveness priority, request emission and pass.
+ * Outputs: grow_<d>, rq_<d>.
+ */
+Netlist growPairReqSubcircuit();
+
+/**
+ * Pair_Grant subcircuit: one-hot grant latch with fixed request
+ * priority, grant emission and pass. Outputs: gr_<d>.
+ */
+Netlist pairGrantSubcircuit();
+
+/**
+ * Pair subcircuit: grant meets -> single pair pulses (rising-edge DROs),
+ * boundary conversion, pair pass, pairing-completion trigger and the
+ * error (chain membership) latch. Outputs: pr_<d>, fire, error.
+ */
+Netlist pairSubcircuit();
+
+/**
+ * Reset keeper: five cascaded buffers hold the reset for the circuit
+ * depth; block = OR7(global, trigger, b1..b5). Output: block.
+ */
+Netlist resetKeeperSubcircuit();
+
+/** The full decoder module: all subcircuits with shared ports. */
+Netlist fullDecoderModule();
+
+/** One bare cell as a netlist (Table III single-gate rows). */
+Netlist singleGateNetlist(CellKind kind);
+
+/** n-input OR tree (Table III "OR GATE 7 INPUTS" row uses n=7). */
+Netlist orNNetlist(int n);
+
+} // namespace nisqpp
+
+#endif // NISQPP_SFQ_DECODER_CIRCUITS_HH

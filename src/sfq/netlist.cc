@@ -1,0 +1,136 @@
+#include "sfq/netlist.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+Netlist::Netlist(std::string name)
+    : name_(std::move(name))
+{
+}
+
+NodeId
+Netlist::addNode(Node node)
+{
+    nodes_.push_back(std::move(node));
+    return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+NodeId
+Netlist::addInput(const std::string &name)
+{
+    const NodeId id = addNode({CellKind::Input, {}, name, false});
+    inputs_.push_back(id);
+    return id;
+}
+
+NodeId
+Netlist::addGate(CellKind kind, const std::vector<NodeId> &fanin,
+                 const std::string &name)
+{
+    require(kind != CellKind::Input, "addGate: use addInput");
+    require(static_cast<int>(fanin.size()) == cellArity(kind),
+            "addGate: arity mismatch");
+    for (NodeId f : fanin)
+        require(f >= 0 && f < static_cast<NodeId>(nodes_.size()),
+                "addGate: dangling fanin");
+    return addNode({kind, fanin, name, false});
+}
+
+NodeId
+Netlist::addStateDff(const std::string &name)
+{
+    Node node{CellKind::DroDff, {}, name, true};
+    return addNode(std::move(node));
+}
+
+void
+Netlist::connectFeedback(NodeId dff, NodeId source)
+{
+    require(dff >= 0 && dff < static_cast<NodeId>(nodes_.size()),
+            "connectFeedback: bad dff");
+    require(nodes_[dff].stateFeedback && nodes_[dff].fanin.empty(),
+            "connectFeedback: node is not an open state DFF");
+    require(source >= 0 && source < static_cast<NodeId>(nodes_.size()),
+            "connectFeedback: bad source");
+    nodes_[dff].fanin.push_back(source);
+}
+
+void
+Netlist::markOutput(NodeId node, const std::string &name)
+{
+    require(node >= 0 && node < static_cast<NodeId>(nodes_.size()),
+            "markOutput: bad node");
+    outputs_.emplace_back(node, name);
+}
+
+NodeId
+Netlist::orTree(std::vector<NodeId> inputs)
+{
+    require(!inputs.empty(), "orTree: empty input set");
+    while (inputs.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < inputs.size(); i += 2)
+            next.push_back(orGate(inputs[i], inputs[i + 1]));
+        if (inputs.size() % 2 == 1)
+            next.push_back(inputs.back());
+        inputs = std::move(next);
+    }
+    return inputs[0];
+}
+
+NodeId
+Netlist::andTree(std::vector<NodeId> inputs)
+{
+    require(!inputs.empty(), "andTree: empty input set");
+    while (inputs.size() > 1) {
+        std::vector<NodeId> next;
+        for (std::size_t i = 0; i + 1 < inputs.size(); i += 2)
+            next.push_back(andGate(inputs[i], inputs[i + 1]));
+        if (inputs.size() % 2 == 1)
+            next.push_back(inputs.back());
+        inputs = std::move(next);
+    }
+    return inputs[0];
+}
+
+std::vector<NodeId>
+Netlist::topoOrder() const
+{
+    const auto n = static_cast<NodeId>(nodes_.size());
+    std::vector<int> indegree(n, 0);
+    std::vector<std::vector<NodeId>> fanout(n);
+    for (NodeId v = 0; v < n; ++v) {
+        if (nodes_[v].stateFeedback)
+            continue; // feedback edge is a sequential boundary
+        for (NodeId u : nodes_[v].fanin) {
+            ++indegree[v];
+            fanout[u].push_back(v);
+        }
+    }
+    std::vector<NodeId> order;
+    order.reserve(n);
+    for (NodeId v = 0; v < n; ++v)
+        if (indegree[v] == 0)
+            order.push_back(v);
+    for (std::size_t head = 0; head < order.size(); ++head) {
+        for (NodeId w : fanout[order[head]])
+            if (--indegree[w] == 0)
+                order.push_back(w);
+    }
+    require(order.size() == nodes_.size(),
+            "topoOrder: combinational cycle detected");
+    return order;
+}
+
+std::size_t
+Netlist::countKind(CellKind kind) const
+{
+    return static_cast<std::size_t>(
+        std::count_if(nodes_.begin(), nodes_.end(),
+                      [kind](const Node &n) { return n.kind == kind; }));
+}
+
+} // namespace nisqpp

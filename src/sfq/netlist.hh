@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Gate-level netlist IR for the SFQ synthesis flow (paper Section VII,
+ * "Single Flux Quantum Circuit Synthesis"). dc-biased SFQ gates are all
+ * clocked, so a netlist is a synchronous DAG of cells; feedback is only
+ * legal through DRO DFF state cells. Wide gates are built as balanced
+ * 2-input trees by the builder helpers.
+ */
+
+#ifndef NISQPP_SFQ_NETLIST_HH
+#define NISQPP_SFQ_NETLIST_HH
+
+#include <string>
+#include <vector>
+
+#include "sfq/cell_library.hh"
+
+namespace nisqpp {
+
+/** A node id within a netlist. */
+using NodeId = int;
+
+/** Gate-level netlist with named primary inputs and outputs. */
+class Netlist
+{
+  public:
+    struct Node
+    {
+        CellKind kind;
+        std::vector<NodeId> fanin;
+        std::string name;     ///< non-empty for inputs / named nodes
+        bool stateFeedback = false; ///< DFF whose input closes a loop
+    };
+
+    explicit Netlist(std::string name);
+
+    const std::string &name() const { return name_; }
+
+    /** Add a primary input. */
+    NodeId addInput(const std::string &name);
+
+    /** Add a gate; fanin arity must match the cell kind. */
+    NodeId addGate(CellKind kind, const std::vector<NodeId> &fanin,
+                   const std::string &name = "");
+
+    /**
+     * Add a DFF whose fanin is connected later via connectFeedback()
+     * (state-holding loops, e.g. the grant latch).
+     */
+    NodeId addStateDff(const std::string &name);
+
+    /** Close a state loop: drive state DFF @p dff from @p source. */
+    void connectFeedback(NodeId dff, NodeId source);
+
+    /** Mark @p node as a primary output. */
+    void markOutput(NodeId node, const std::string &name);
+
+    /** @name Convenience tree builders @{ */
+    NodeId andGate(NodeId a, NodeId b) { return addGate(CellKind::And2, {a, b}); }
+    NodeId orGate(NodeId a, NodeId b) { return addGate(CellKind::Or2, {a, b}); }
+    NodeId xorGate(NodeId a, NodeId b) { return addGate(CellKind::Xor2, {a, b}); }
+    NodeId notGate(NodeId a) { return addGate(CellKind::Not, {a}); }
+
+    /** Balanced OR tree over any number of inputs. */
+    NodeId orTree(std::vector<NodeId> inputs);
+
+    /** Balanced AND tree over any number of inputs. */
+    NodeId andTree(std::vector<NodeId> inputs);
+    /** @} */
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    const Node &node(NodeId id) const { return nodes_.at(id); }
+    const std::vector<NodeId> &inputs() const { return inputs_; }
+    const std::vector<std::pair<NodeId, std::string>> &
+    outputs() const
+    {
+        return outputs_;
+    }
+
+    /**
+     * Topological order over combinational edges (state-DFF feedback
+     * edges are sequential boundaries and excluded). Panics on a
+     * combinational cycle.
+     */
+    std::vector<NodeId> topoOrder() const;
+
+    /** Count of cells of @p kind. */
+    std::size_t countKind(CellKind kind) const;
+
+  private:
+    NodeId addNode(Node node);
+
+    std::string name_;
+    std::vector<Node> nodes_;
+    std::vector<NodeId> inputs_;
+    std::vector<std::pair<NodeId, std::string>> outputs_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_SFQ_NETLIST_HH

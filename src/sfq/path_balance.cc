@@ -1,0 +1,200 @@
+#include "sfq/path_balance.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+std::vector<int>
+assignLevels(const Netlist &netlist)
+{
+    const auto n = static_cast<NodeId>(netlist.numNodes());
+    const std::vector<NodeId> order = netlist.topoOrder();
+
+    auto is_source = [&](NodeId v) {
+        return netlist.node(v).kind == CellKind::Input ||
+               netlist.node(v).stateFeedback;
+    };
+
+    // ASAP levels.
+    std::vector<int> asap(n, 0);
+    for (NodeId v : order) {
+        if (is_source(v))
+            continue;
+        int lvl = 0;
+        for (NodeId u : netlist.node(v).fanin)
+            lvl = std::max(lvl, asap[u] + 1);
+        asap[v] = lvl;
+    }
+    int depth = 0;
+    for (NodeId v = 0; v < n; ++v)
+        depth = std::max(depth, asap[v]);
+
+    // Combinational fanout lists (feedback edges excluded).
+    std::vector<std::vector<NodeId>> fanout(n);
+    for (NodeId v = 0; v < n; ++v) {
+        if (netlist.node(v).stateFeedback)
+            continue;
+        for (NodeId u : netlist.node(v).fanin)
+            fanout[u].push_back(v);
+    }
+
+    // ALAP levels within the ASAP depth.
+    std::vector<int> alap(n, depth);
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        const NodeId v = *it;
+        if (!fanout[v].empty()) {
+            int lvl = depth;
+            for (NodeId w : fanout[v])
+                lvl = std::min(lvl, alap[w] - 1);
+            alap[v] = lvl;
+        }
+        if (is_source(v))
+            alap[v] = 0;
+    }
+
+    // Slack redistribution: each node slides to the end of its window
+    // that minimizes local DFF padding (linear cost in its level).
+    std::vector<int> level = asap;
+    for (int pass = 0; pass < 20; ++pass) {
+        bool changed = false;
+        for (NodeId v : order) {
+            if (is_source(v))
+                continue;
+            int lo = 0;
+            for (NodeId u : netlist.node(v).fanin)
+                lo = std::max(lo, level[u] + 1);
+            int hi = alap[v];
+            for (NodeId w : fanout[v])
+                hi = std::min(hi, level[w] - 1);
+            hi = std::max(hi, lo);
+            const int indeg =
+                static_cast<int>(netlist.node(v).fanin.size());
+            const int outdeg = static_cast<int>(fanout[v].size());
+            int target = level[v];
+            if (indeg > outdeg)
+                target = lo;
+            else if (outdeg > indeg)
+                target = hi;
+            target = std::clamp(target, lo, hi);
+            if (target != level[v]) {
+                level[v] = target;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    return level;
+}
+
+BalancedNetlist
+pathBalance(const Netlist &netlist)
+{
+    const std::vector<int> level = assignLevels(netlist);
+    const std::vector<NodeId> order = netlist.topoOrder();
+    const auto n = static_cast<NodeId>(netlist.numNodes());
+
+    int depth = 0;
+    for (const auto &[node, name] : netlist.outputs())
+        depth = std::max(depth, level[node]);
+
+    BalancedNetlist result{Netlist(netlist.name() + "+balanced"), {}, 0,
+                           0};
+    Netlist &out = result.netlist;
+
+    std::vector<NodeId> remap(n, -1);
+    // Shared delay chains: chains[u][k] = u delayed by k+1 clocks.
+    std::vector<std::vector<NodeId>> chains(n);
+    std::vector<int> out_level; // level per node of the new netlist
+
+    auto delayed = [&](NodeId old_u, int clocks) -> NodeId {
+        require(clocks >= 0, "pathBalance: negative delay");
+        if (clocks == 0)
+            return remap[old_u];
+        auto &chain = chains[old_u];
+        while (static_cast<int>(chain.size()) < clocks) {
+            const NodeId prev = chain.empty()
+                                    ? remap[old_u]
+                                    : chain.back();
+            const NodeId dff =
+                out.addGate(CellKind::DroDff, {prev});
+            out_level.push_back(
+                out_level[prev] + 1);
+            ++result.insertedDffs;
+            chain.push_back(dff);
+        }
+        return chain[clocks - 1];
+    };
+
+    std::vector<std::pair<NodeId, NodeId>> feedback; // (new dff, old src)
+    for (NodeId v : order) {
+        const auto &node = netlist.node(v);
+        if (node.kind == CellKind::Input) {
+            remap[v] = out.addInput(node.name);
+            out_level.push_back(0);
+            continue;
+        }
+        if (node.stateFeedback) {
+            remap[v] = out.addStateDff(node.name);
+            out_level.push_back(0);
+            require(node.fanin.size() == 1,
+                    "pathBalance: unconnected state DFF");
+            feedback.emplace_back(remap[v], node.fanin[0]);
+            continue;
+        }
+        std::vector<NodeId> fanin;
+        fanin.reserve(node.fanin.size());
+        for (NodeId u : node.fanin) {
+            const int gap = level[v] - level[u] - 1;
+            fanin.push_back(delayed(u, gap));
+        }
+        remap[v] = out.addGate(node.kind, fanin, node.name);
+        out_level.push_back(level[v]);
+    }
+    for (auto &[dff, old_src] : feedback)
+        out.connectFeedback(dff, remap[old_src]);
+
+    for (const auto &[node, name] : netlist.outputs()) {
+        const int gap = depth - level[node];
+        out.markOutput(delayed(node, gap), name);
+    }
+
+    result.level = std::move(out_level);
+    result.depth = depth;
+    return result;
+}
+
+int
+checkBalanced(const Netlist &netlist)
+{
+    const std::vector<NodeId> order = netlist.topoOrder();
+    std::vector<int> len(netlist.numNodes(), 0);
+    for (NodeId v : order) {
+        const auto &node = netlist.node(v);
+        if (node.kind == CellKind::Input || node.stateFeedback) {
+            len[v] = 0;
+            continue;
+        }
+        int common = -2;
+        for (NodeId u : node.fanin) {
+            if (common == -2)
+                common = len[u];
+            else if (len[u] != common)
+                return -1;
+        }
+        len[v] = common + 1;
+    }
+    int depth = -2;
+    for (const auto &[node, name] : netlist.outputs()) {
+        if (depth == -2)
+            depth = len[node];
+        else if (len[node] != depth)
+            return -1;
+    }
+    return depth < 0 ? 0 : depth;
+}
+
+} // namespace nisqpp

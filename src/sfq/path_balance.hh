@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Full path balancing for dc-biased SFQ netlists (paper Section VII;
+ * PBMap [46], SFQmap [47]). Every path from any primary input to any
+ * primary output must traverse the same number of clocked cells; shorter
+ * paths receive DRO DFFs. Level assignment minimizes the inserted DFF
+ * count by a slack-redistribution pass (each node moves to the end of
+ * its slack window that locally minimizes fanin+fanout padding),
+ * matching the objective of the paper's dynamic-programming mapper.
+ */
+
+#ifndef NISQPP_SFQ_PATH_BALANCE_HH
+#define NISQPP_SFQ_PATH_BALANCE_HH
+
+#include <vector>
+
+#include "sfq/netlist.hh"
+
+namespace nisqpp {
+
+/** Result of balancing: the padded netlist plus level bookkeeping. */
+struct BalancedNetlist
+{
+    Netlist netlist;           ///< with DFF chains materialized
+    std::vector<int> level;    ///< per node of the *balanced* netlist
+    int depth = 0;             ///< logical depth (output level)
+    std::size_t insertedDffs = 0;
+};
+
+/**
+ * Compute per-node levels of @p netlist (inputs at 0) with the DFF-count
+ * minimizing slack assignment; levels of state-feedback DFFs are pinned
+ * to 1 (they launch at the clock boundary).
+ */
+std::vector<int> assignLevels(const Netlist &netlist);
+
+/**
+ * Fully path balance @p netlist: insert DFF chains on every edge whose
+ * endpoints differ by more than one level and pad all primary outputs to
+ * the common depth.
+ */
+BalancedNetlist pathBalance(const Netlist &netlist);
+
+/**
+ * Verify the full path-balancing property: every input-to-output path
+ * has the same clocked length. Returns the common depth, or -1 when the
+ * property is violated (used by tests).
+ */
+int checkBalanced(const Netlist &netlist);
+
+} // namespace nisqpp
+
+#endif // NISQPP_SFQ_PATH_BALANCE_HH

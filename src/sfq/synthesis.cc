@@ -1,0 +1,50 @@
+#include "sfq/synthesis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+SynthesisReport
+characterize(const BalancedNetlist &balanced)
+{
+    const Netlist &net = balanced.netlist;
+    SynthesisReport report;
+    report.name = net.name();
+    report.logicalDepth = balanced.depth;
+    report.latencyClockedPs = balanced.depth * kStagePeriodPs;
+
+    std::vector<double> stage_delay(balanced.depth + 1, 0.0);
+    for (NodeId v = 0; v < static_cast<NodeId>(net.numNodes()); ++v) {
+        const auto &node = net.node(v);
+        const CellInfo &info = cellInfo(node.kind);
+        if (node.kind == CellKind::Input)
+            continue;
+        report.areaUm2 += info.areaUm2;
+        report.jjCount += info.jjCount;
+        report.powerUw += info.powerUw;
+        if (node.kind == CellKind::DroDff)
+            ++report.dffCount;
+        else
+            ++report.gateCount;
+        const int lvl = balanced.level.at(v);
+        if (lvl >= 0 && lvl < static_cast<int>(stage_delay.size()))
+            stage_delay[lvl] =
+                std::max(stage_delay[lvl], info.delayPs);
+    }
+    for (double d : stage_delay)
+        report.latencyCellPs += d;
+    return report;
+}
+
+SynthesisReport
+synthesize(const Netlist &netlist)
+{
+    const BalancedNetlist balanced = pathBalance(netlist);
+    require(checkBalanced(balanced.netlist) == balanced.depth,
+            "synthesize: balancing postcondition failed");
+    return characterize(balanced);
+}
+
+} // namespace nisqpp

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Synthesis reporting (paper Table III): given a netlist, path balance
+ * it and characterize logical depth, latency, area, Josephson-junction
+ * count and power from the Table II cell library.
+ *
+ * Two latency figures are reported: the sum over pipeline stages of the
+ * slowest cell delay in each stage (pure cell delay), and the clocked
+ * latency depth x 27.12 ps — the stage period implied by the paper's
+ * full-circuit figure (162.72 ps at depth 6), which budgets clock
+ * distribution and interconnect on top of cell delay.
+ */
+
+#ifndef NISQPP_SFQ_SYNTHESIS_HH
+#define NISQPP_SFQ_SYNTHESIS_HH
+
+#include <string>
+
+#include "sfq/path_balance.hh"
+
+namespace nisqpp {
+
+/** Stage period implied by Table III (162.72 ps / depth 6). */
+constexpr double kStagePeriodPs = 27.12;
+
+/** Characterization of one synthesized circuit. */
+struct SynthesisReport
+{
+    std::string name;
+    int logicalDepth = 0;
+    double latencyCellPs = 0.0;    ///< sum of per-stage max cell delays
+    double latencyClockedPs = 0.0; ///< depth x kStagePeriodPs
+    double areaUm2 = 0.0;
+    int jjCount = 0;
+    double powerUw = 0.0;
+    std::size_t gateCount = 0; ///< logic cells (AND/OR/XOR/NOT)
+    std::size_t dffCount = 0;  ///< DRO DFFs incl. balancing insertions
+};
+
+/** Path balance @p netlist and report its characteristics. */
+SynthesisReport synthesize(const Netlist &netlist);
+
+/** Report of an already balanced netlist (no re-balancing). */
+SynthesisReport characterize(const BalancedNetlist &balanced);
+
+} // namespace nisqpp
+
+#endif // NISQPP_SFQ_SYNTHESIS_HH

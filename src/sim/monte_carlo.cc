@@ -1,0 +1,144 @@
+#include "sim/monte_carlo.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+StopRule
+StopRule::scaledByEnv() const
+{
+    StopRule scaled = *this;
+    if (const char *env = std::getenv("NISQPP_TRIALS")) {
+        const double mult = std::atof(env);
+        if (mult > 0) {
+            scaled.minTrials =
+                static_cast<std::size_t>(scaled.minTrials * mult);
+            scaled.maxTrials =
+                static_cast<std::size_t>(scaled.maxTrials * mult);
+        }
+    }
+    return scaled;
+}
+
+LifetimeSimulator::LifetimeSimulator(const SurfaceLattice &lattice,
+                                     const ErrorModel &model,
+                                     Decoder &zDecoder, Decoder *xDecoder,
+                                     std::uint64_t seed,
+                                     bool throughCircuits)
+    : lattice_(lattice), model_(model), zDecoder_(zDecoder),
+      xDecoder_(xDecoder), rng_(seed), throughCircuits_(throughCircuits),
+      circuit_(lattice), state_(lattice)
+{
+    require(zDecoder.type() == ErrorType::Z,
+            "LifetimeSimulator: zDecoder must decode Z errors");
+    if (xDecoder_)
+        require(xDecoder_->type() == ErrorType::X,
+                "LifetimeSimulator: xDecoder must decode X errors");
+}
+
+void
+LifetimeSimulator::decodeLifetime(ErrorType type, Decoder &decoder,
+                                  MonteCarloResult &acc)
+{
+    const Syndrome syn = throughCircuits_
+                             ? circuit_.extract(state_, type)
+                             : extractSyndrome(state_, type);
+    const Correction corr = decoder.decode(syn);
+    corr.applyTo(state_, type);
+    if (auto *mesh = dynamic_cast<MeshDecoder *>(&decoder)) {
+        const auto &stats = mesh->lastStats();
+        acc.cycles.add(stats.cycles);
+        if (acc.cycleHistogram.numBins() > 1)
+            acc.cycleHistogram.add(
+                static_cast<std::size_t>(stats.cycles));
+    }
+}
+
+bool
+LifetimeSimulator::decodeFamily(ErrorType type, Decoder &decoder,
+                                ErrorState &state, MonteCarloResult &acc)
+{
+    const Syndrome syn = throughCircuits_
+                             ? circuit_.extract(state, type)
+                             : extractSyndrome(state, type);
+    const Correction corr = decoder.decode(syn);
+    corr.applyTo(state, type);
+
+    if (auto *mesh = dynamic_cast<MeshDecoder *>(&decoder)) {
+        const auto &stats = mesh->lastStats();
+        acc.cycles.add(stats.cycles);
+        if (acc.cycleHistogram.numBins() > 1)
+            acc.cycleHistogram.add(
+                static_cast<std::size_t>(stats.cycles));
+    }
+
+    const FailureReport report = classifyResidual(state, type);
+    if (report.syndromeNonzero)
+        ++acc.syndromeResidualFailures;
+    return report.failed();
+}
+
+bool
+LifetimeSimulator::runRound(MonteCarloResult &acc)
+{
+    if (!lifetimeMode_)
+        state_.clear();
+    model_.sample(rng_, state_);
+
+    bool failed = false;
+    if (lifetimeMode_) {
+        decodeLifetime(ErrorType::Z, zDecoder_, acc);
+        const bool z_parity = crossingParity(state_, ErrorType::Z);
+        failed |= z_parity != zParity_;
+        zParity_ = z_parity;
+        if (xDecoder_) {
+            decodeLifetime(ErrorType::X, *xDecoder_, acc);
+            const bool x_parity = crossingParity(state_, ErrorType::X);
+            failed |= x_parity != xParity_;
+            xParity_ = x_parity;
+        } else {
+            require(state_.weight(ErrorType::X) == 0,
+                    "LifetimeSimulator: X errors present but no X "
+                    "decoder");
+        }
+    } else {
+        failed = decodeFamily(ErrorType::Z, zDecoder_, state_, acc);
+        if (xDecoder_)
+            failed |=
+                decodeFamily(ErrorType::X, *xDecoder_, state_, acc);
+        else
+            require(state_.weight(ErrorType::X) == 0,
+                    "LifetimeSimulator: X errors present but no X "
+                    "decoder");
+    }
+
+    ++acc.trials;
+    if (failed)
+        ++acc.failures;
+    return failed;
+}
+
+MonteCarloResult
+LifetimeSimulator::run(const StopRule &rule)
+{
+    MonteCarloResult acc;
+    acc.cycleHistogram =
+        Histogram(static_cast<std::size_t>(128 * (lattice_.gridSize()
+                                                  + 2)));
+    while (acc.trials < rule.maxTrials) {
+        runRound(acc);
+        if (acc.trials >= rule.minTrials &&
+            acc.failures >= rule.targetFailures)
+            break;
+    }
+    acc.logicalErrorRate =
+        acc.trials ? static_cast<double>(acc.failures) /
+                         static_cast<double>(acc.trials)
+                   : 0.0;
+    acc.ci = wilson95(acc.failures, acc.trials);
+    return acc;
+}
+
+} // namespace nisqpp

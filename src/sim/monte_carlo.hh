@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Monte Carlo lifetime simulation (paper Section VII, "Simulation
+ * Techniques"): each cycle injects stochastic errors on the data qubits,
+ * extracts the error syndrome (directly or through the Fig. 3 stabilizer
+ * circuits), hands it to the decoder under test, applies the returned
+ * correction, and classifies the residual. The ratio of logical errors
+ * to cycles is the logical error rate PL.
+ */
+
+#ifndef NISQPP_SIM_MONTE_CARLO_HH
+#define NISQPP_SIM_MONTE_CARLO_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "core/mesh_decoder.hh"
+#include "decoders/decoder.hh"
+#include "surface/error_model.hh"
+#include "surface/logical.hh"
+#include "surface/stabilizer_circuit.hh"
+
+namespace nisqpp {
+
+/** Stopping rule for adaptive sampling. */
+struct StopRule
+{
+    std::size_t minTrials = 1000;
+    std::size_t maxTrials = 20000;
+    std::size_t targetFailures = 100; ///< stop early once this many seen
+
+    /**
+     * Scale trial counts by the NISQPP_TRIALS environment variable
+     * (a multiplier, default 1.0) so benches can be re-run at higher
+     * statistical resolution without recompiling.
+     */
+    StopRule scaledByEnv() const;
+};
+
+/** Aggregate result of one (lattice, p, decoder) Monte Carlo run. */
+struct MonteCarloResult
+{
+    std::size_t trials = 0;
+    std::size_t failures = 0;
+    std::size_t syndromeResidualFailures = 0; ///< subset: residual syndrome
+    double logicalErrorRate = 0.0;
+    WilsonInterval ci{0.0, 1.0};
+
+    /** Mesh decoder execution cycles per round (when applicable). */
+    RunningStats cycles;
+    /** Distribution of cycles (Fig. 10(c)); sized in the simulator. */
+    Histogram cycleHistogram{0};
+};
+
+/**
+ * Per-round, code-capacity lifetime simulator for one error type.
+ * Dephasing noise exercises the Z-error path the paper evaluates; the
+ * depolarizing channel runs both families through two decoders.
+ */
+class LifetimeSimulator
+{
+  public:
+    /**
+     * @param lattice  Lattice under test.
+     * @param model    Error channel sampled each round.
+     * @param zDecoder Decoder for Z data errors (X-ancilla syndromes).
+     * @param xDecoder Decoder for X data errors; may be null when the
+     *                 channel produces no X component (pure dephasing).
+     * @param seed     Master RNG seed (deterministic reproduction).
+     * @param throughCircuits Extract syndromes by running the Fig. 3
+     *                 stabilizer circuits instead of direct parity.
+     */
+    LifetimeSimulator(const SurfaceLattice &lattice,
+                      const ErrorModel &model, Decoder &zDecoder,
+                      Decoder *xDecoder, std::uint64_t seed,
+                      bool throughCircuits = false);
+
+    /**
+     * Select the Monte Carlo protocol. Per-round mode (default off)
+     * clears the state each cycle and counts a failure when the
+     * residual has a nonzero syndrome or flips the crossing logical.
+     * Lifetime mode — the paper's protocol — keeps the residual across
+     * cycles (imperfectly corrected errors are re-decoded next round)
+     * and counts one logical error whenever the crossing parity of the
+     * post-correction state flips.
+     */
+    void setLifetimeMode(bool lifetime) { lifetimeMode_ = lifetime; }
+    bool lifetimeMode() const { return lifetimeMode_; }
+
+    /** Run @p rule-governed rounds and aggregate. */
+    MonteCarloResult run(const StopRule &rule);
+
+    /** Run exactly one round; returns whether it failed. */
+    bool runRound(MonteCarloResult &acc);
+
+  private:
+    bool decodeFamily(ErrorType type, Decoder &decoder,
+                      ErrorState &state, MonteCarloResult &acc);
+    void decodeLifetime(ErrorType type, Decoder &decoder,
+                        MonteCarloResult &acc);
+
+    const SurfaceLattice &lattice_;
+    const ErrorModel &model_;
+    Decoder &zDecoder_;
+    Decoder *xDecoder_;
+    Rng rng_;
+    bool throughCircuits_;
+    bool lifetimeMode_ = false;
+    StabilizerCircuit circuit_;
+    ErrorState state_;
+    bool zParity_ = false; ///< lifetime-mode crossing parity trackers
+    bool xParity_ = false;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_SIM_MONTE_CARLO_HH

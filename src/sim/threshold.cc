@@ -1,0 +1,86 @@
+#include "sim/threshold.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+namespace {
+
+/**
+ * Find the root of f(p) = 0 between samples by linear interpolation in
+ * log(p), where fs holds f at each sample and sign changes mark roots.
+ */
+std::optional<double>
+interpolateRoot(const std::vector<double> &ps, const std::vector<double> &fs)
+{
+    for (std::size_t i = 0; i + 1 < ps.size(); ++i) {
+        const double f0 = fs[i];
+        const double f1 = fs[i + 1];
+        if (f0 == 0.0)
+            return ps[i];
+        if (f0 * f1 < 0.0) {
+            const double x0 = std::log(ps[i]);
+            const double x1 = std::log(ps[i + 1]);
+            const double t = f0 / (f0 - f1);
+            return std::exp(x0 + t * (x1 - x0));
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<double>
+pseudoThreshold(const ErrorRateCurve &curve)
+{
+    require(curve.p.size() == curve.pl.size(),
+            "pseudoThreshold: size mismatch");
+    std::vector<double> fs;
+    fs.reserve(curve.p.size());
+    // Work on log(PL) - log(p); skip leading zero-PL samples (below the
+    // measurable floor they are unambiguously "PL < p").
+    std::vector<double> ps;
+    for (std::size_t i = 0; i < curve.p.size(); ++i) {
+        if (curve.pl[i] <= 0.0)
+            continue;
+        ps.push_back(curve.p[i]);
+        fs.push_back(std::log(curve.pl[i]) - std::log(curve.p[i]));
+    }
+    if (ps.size() < 2)
+        return std::nullopt;
+    return interpolateRoot(ps, fs);
+}
+
+std::optional<double>
+curveCrossing(const ErrorRateCurve &a, const ErrorRateCurve &b)
+{
+    require(a.p == b.p, "curveCrossing: curves must share p samples");
+    std::vector<double> ps, fs;
+    for (std::size_t i = 0; i < a.p.size(); ++i) {
+        if (a.pl[i] <= 0.0 || b.pl[i] <= 0.0)
+            continue;
+        ps.push_back(a.p[i]);
+        fs.push_back(std::log(a.pl[i]) - std::log(b.pl[i]));
+    }
+    if (ps.size() < 2)
+        return std::nullopt;
+    return interpolateRoot(ps, fs);
+}
+
+std::optional<double>
+accuracyThreshold(const std::vector<ErrorRateCurve> &curves)
+{
+    std::vector<double> crossings;
+    for (std::size_t i = 0; i + 1 < curves.size(); ++i)
+        if (auto x = curveCrossing(curves[i], curves[i + 1]))
+            crossings.push_back(*x);
+    if (crossings.empty())
+        return std::nullopt;
+    std::sort(crossings.begin(), crossings.end());
+    return crossings[crossings.size() / 2];
+}
+
+} // namespace nisqpp

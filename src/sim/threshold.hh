@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Threshold metrics (paper Section VII, "Evaluation Performance
+ * Metrics"): the pseudo-threshold of a single code distance is the
+ * physical error rate where PL = p; the accuracy threshold is where the
+ * PL curves of successive code distances cross (below it, larger d means
+ * lower PL). Both are estimated from sampled curves by log-log
+ * interpolation.
+ */
+
+#ifndef NISQPP_SIM_THRESHOLD_HH
+#define NISQPP_SIM_THRESHOLD_HH
+
+#include <optional>
+#include <vector>
+
+namespace nisqpp {
+
+/** One sampled logical-error-rate curve. */
+struct ErrorRateCurve
+{
+    int distance = 0;
+    std::vector<double> p;  ///< physical error rates, ascending
+    std::vector<double> pl; ///< logical error rates (0 allowed)
+};
+
+/**
+ * Pseudo-threshold: the p where the curve crosses PL = p, found by
+ * log-log linear interpolation between the bracketing samples.
+ *
+ * @return std::nullopt when the curve never crosses in the sampled range.
+ */
+std::optional<double> pseudoThreshold(const ErrorRateCurve &curve);
+
+/**
+ * Crossing point of two curves (accuracy-threshold estimate between two
+ * code distances), by log-log interpolation.
+ */
+std::optional<double> curveCrossing(const ErrorRateCurve &a,
+                                    const ErrorRateCurve &b);
+
+/**
+ * Accuracy threshold over a family of curves: the median of pairwise
+ * crossings between successive distances (robust to sampling noise).
+ */
+std::optional<double>
+accuracyThreshold(const std::vector<ErrorRateCurve> &curves);
+
+} // namespace nisqpp
+
+#endif // NISQPP_SIM_THRESHOLD_HH

@@ -1,0 +1,43 @@
+#include "surface/error_model.hh"
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+DepolarizingModel::DepolarizingModel(double p)
+    : p_(p)
+{
+    require(p >= 0.0 && p <= 1.0, "DepolarizingModel: p out of [0,1]");
+}
+
+void
+DepolarizingModel::sample(Rng &rng, ErrorState &state) const
+{
+    const int n = state.lattice().numData();
+    for (int q = 0; q < n; ++q) {
+        if (!rng.bernoulli(p_))
+            continue;
+        switch (rng.uniformInt(3)) {
+          case 0: state.inject(q, Pauli::X); break;
+          case 1: state.inject(q, Pauli::Y); break;
+          default: state.inject(q, Pauli::Z); break;
+        }
+    }
+}
+
+DephasingModel::DephasingModel(double p)
+    : p_(p)
+{
+    require(p >= 0.0 && p <= 1.0, "DephasingModel: p out of [0,1]");
+}
+
+void
+DephasingModel::sample(Rng &rng, ErrorState &state) const
+{
+    const int n = state.lattice().numData();
+    for (int q = 0; q < n; ++q)
+        if (rng.bernoulli(p_))
+            state.inject(q, Pauli::Z);
+}
+
+} // namespace nisqpp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pauli error configuration on the data qubits of one lattice, stored as
+ * separate X and Z bit vectors (a Y error sets both). Corrections compose
+ * by XOR, matching Pauli group multiplication modulo phase.
+ */
+
+#ifndef NISQPP_SURFACE_ERROR_STATE_HH
+#define NISQPP_SURFACE_ERROR_STATE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "pauli/pauli.hh"
+#include "surface/lattice.hh"
+
+namespace nisqpp {
+
+/** X/Z error bits over the data qubits of a lattice. */
+class ErrorState
+{
+  public:
+    explicit ErrorState(const SurfaceLattice &lattice);
+
+    const SurfaceLattice &lattice() const { return *lattice_; }
+
+    /** Clear all error bits. */
+    void clear();
+
+    /** Multiply @p p onto data qubit @p data_idx. */
+    void inject(int data_idx, Pauli p);
+
+    /** Flip one component on one data qubit (a correction). */
+    void flip(ErrorType type, int data_idx);
+
+    /** XOR another error/correction pattern into this one. */
+    void compose(const ErrorState &other);
+
+    /** Current Pauli on data qubit @p data_idx. */
+    Pauli at(int data_idx) const;
+
+    /** Whether data qubit @p data_idx carries a @p type component. */
+    bool has(ErrorType type, int data_idx) const;
+
+    /** Number of data qubits carrying a @p type component. */
+    int weight(ErrorType type) const;
+
+    /** Number of data qubits carrying any error. */
+    int weight() const;
+
+    const std::vector<char> &bits(ErrorType type) const;
+
+  private:
+    const SurfaceLattice *lattice_;
+    std::vector<char> x_;
+    std::vector<char> z_;
+
+    std::vector<char> &mut(ErrorType type)
+    {
+        return type == ErrorType::X ? x_ : z_;
+    }
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_SURFACE_ERROR_STATE_HH

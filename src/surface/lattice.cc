@@ -1,0 +1,168 @@
+#include "surface/lattice.hh"
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+SurfaceLattice::SurfaceLattice(int distance)
+    : d_(distance), n_(2 * distance - 1)
+{
+    require(distance >= 2, "SurfaceLattice: distance must be >= 2");
+
+    dataIndexBySite_.assign(numSites(), -1);
+    xIndexBySite_.assign(numSites(), -1);
+    zIndexBySite_.assign(numSites(), -1);
+
+    for (int r = 0; r < n_; ++r) {
+        for (int c = 0; c < n_; ++c) {
+            const Coord rc{r, c};
+            const int site = siteIndex(rc);
+            if ((r + c) % 2 == 0) {
+                dataIndexBySite_[site] = static_cast<int>(dataSites_.size());
+                dataSites_.push_back(rc);
+            } else if (r % 2 == 0) {
+                xIndexBySite_[site] = static_cast<int>(xSites_.size());
+                xSites_.push_back(rc);
+            } else {
+                zIndexBySite_[site] = static_cast<int>(zSites_.size());
+                zSites_.push_back(rc);
+            }
+        }
+    }
+
+    static const std::array<Coord, 4> kOffsets =
+        {{{-1, 0}, {0, 1}, {1, 0}, {0, -1}}};
+
+    for (const ErrorType type : {ErrorType::X, ErrorType::Z}) {
+        const int slot = typeSlot(type);
+        const auto &sites = (type == ErrorType::Z) ? xSites_ : zSites_;
+        ancillaData_[slot].resize(sites.size());
+        dataAncilla_[slot].resize(dataSites_.size());
+        for (std::size_t a = 0; a < sites.size(); ++a) {
+            for (const auto &off : kOffsets) {
+                const Coord nb{sites[a].row + off.row,
+                               sites[a].col + off.col};
+                if (!inBounds(nb))
+                    continue;
+                const int di = dataIndexBySite_[siteIndex(nb)];
+                require(di >= 0, "ancilla neighbor is not a data qubit");
+                ancillaData_[slot][a].push_back(di);
+                dataAncilla_[slot][di].push_back(static_cast<int>(a));
+            }
+        }
+    }
+
+    // Crossing logical operators. Logical X runs north-south on the west
+    // column (detects Z errors); logical Z runs west-east on the north
+    // row (detects X errors).
+    for (int r = 0; r < n_; r += 2)
+        logicalSupport_[typeSlot(ErrorType::Z)]
+            .push_back(dataIndexBySite_[siteIndex({r, 0})]);
+    for (int c = 0; c < n_; c += 2)
+        logicalSupport_[typeSlot(ErrorType::X)]
+            .push_back(dataIndexBySite_[siteIndex({0, c})]);
+}
+
+int
+SurfaceLattice::numAncilla(ErrorType type) const
+{
+    return type == ErrorType::Z ? numXAncilla() : numZAncilla();
+}
+
+SiteRole
+SurfaceLattice::role(Coord rc) const
+{
+    require(inBounds(rc), "role: coordinate out of bounds");
+    if ((rc.row + rc.col) % 2 == 0)
+        return SiteRole::Data;
+    return rc.row % 2 == 0 ? SiteRole::AncillaX : SiteRole::AncillaZ;
+}
+
+bool
+SurfaceLattice::inBounds(Coord rc) const
+{
+    return rc.row >= 0 && rc.row < n_ && rc.col >= 0 && rc.col < n_;
+}
+
+int
+SurfaceLattice::dataIndex(Coord rc) const
+{
+    require(inBounds(rc), "dataIndex: out of bounds");
+    const int idx = dataIndexBySite_[siteIndex(rc)];
+    require(idx >= 0, "dataIndex: site is not a data qubit");
+    return idx;
+}
+
+int
+SurfaceLattice::ancillaIndex(ErrorType type, Coord rc) const
+{
+    require(inBounds(rc), "ancillaIndex: out of bounds");
+    const auto &map = (type == ErrorType::Z) ? xIndexBySite_ : zIndexBySite_;
+    const int idx = map[siteIndex(rc)];
+    require(idx >= 0, "ancillaIndex: site is not an ancilla of this family");
+    return idx;
+}
+
+Coord
+SurfaceLattice::ancillaCoord(ErrorType type, int idx) const
+{
+    const auto &sites = (type == ErrorType::Z) ? xSites_ : zSites_;
+    return sites.at(idx);
+}
+
+const std::vector<int> &
+SurfaceLattice::ancillaDataNeighbors(ErrorType type, int idx) const
+{
+    return ancillaData_[typeSlot(type)].at(idx);
+}
+
+const std::vector<int> &
+SurfaceLattice::dataAncillaNeighbors(ErrorType type, int data_idx) const
+{
+    return dataAncilla_[typeSlot(type)].at(data_idx);
+}
+
+bool
+SurfaceLattice::touchesBoundary(ErrorType type, int data_idx) const
+{
+    return dataAncillaNeighbors(type, data_idx).size() < 2;
+}
+
+int
+SurfaceLattice::ancillaGraphDistance(ErrorType type, int a, int b) const
+{
+    const Coord ca = ancillaCoord(type, a);
+    const Coord cb = ancillaCoord(type, b);
+    const int manhattan =
+        std::abs(ca.row - cb.row) + std::abs(ca.col - cb.col);
+    // Ancillas of one family sit on a sublattice of even Manhattan
+    // separation; each data-qubit error covers two grid hops.
+    return manhattan / 2;
+}
+
+int
+SurfaceLattice::ancillaBoundaryDistance(ErrorType type, int a) const
+{
+    const Coord ca = ancillaCoord(type, a);
+    if (type == ErrorType::Z) {
+        // X ancillas at odd columns; chains terminate west/east.
+        const int west = (ca.col + 1) / 2;
+        const int east = (n_ - ca.col) / 2;
+        return std::min(west, east);
+    }
+    const int north = (ca.row + 1) / 2;
+    const int south = (n_ - ca.row) / 2;
+    return std::min(north, south);
+}
+
+const std::vector<int> &
+SurfaceLattice::logicalDetectorSupport(ErrorType type) const
+{
+    return logicalSupport_[typeSlot(type)];
+}
+
+} // namespace nisqpp

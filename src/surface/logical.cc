@@ -1,0 +1,26 @@
+#include "surface/logical.hh"
+
+namespace nisqpp {
+
+bool
+crossingParity(const ErrorState &residual, ErrorType type)
+{
+    const SurfaceLattice &lat = residual.lattice();
+    const auto &bits = residual.bits(type);
+    char parity = 0;
+    for (int d : lat.logicalDetectorSupport(type))
+        parity ^= bits[d];
+    return parity;
+}
+
+FailureReport
+classifyResidual(const ErrorState &residual, ErrorType type)
+{
+    FailureReport report;
+    report.syndromeNonzero =
+        extractSyndrome(residual, type).weight() != 0;
+    report.logicalFlip = crossingParity(residual, type);
+    return report;
+}
+
+} // namespace nisqpp

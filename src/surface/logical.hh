@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Logical-failure classification (paper Section II-C2): after applying a
+ * decoder's correction, the residual error either (a) still produces a
+ * nonzero syndrome (the decoder failed to return to the code space — only
+ * possible for the degraded design variants), or (b) is a product of
+ * stabilizers times possibly a crossing logical operator. Case (b) with a
+ * crossing chain is an undetectable logical error.
+ */
+
+#ifndef NISQPP_SURFACE_LOGICAL_HH
+#define NISQPP_SURFACE_LOGICAL_HH
+
+#include "surface/error_state.hh"
+#include "surface/lattice.hh"
+#include "surface/syndrome.hh"
+
+namespace nisqpp {
+
+/** Outcome of classifying the residual (error * correction) pattern. */
+struct FailureReport
+{
+    bool syndromeNonzero; ///< residual still flips some ancilla
+    bool logicalFlip;     ///< residual anticommutes with the crossed logical
+
+    /** A round counts as failed under either condition. */
+    bool failed() const { return syndromeNonzero || logicalFlip; }
+};
+
+/**
+ * Classify a residual @p type error pattern.
+ *
+ * @param residual The post-correction error state.
+ * @param type     Which error component to classify.
+ */
+FailureReport classifyResidual(const ErrorState &residual, ErrorType type);
+
+/**
+ * Parity of the overlap between the residual @p type error and the
+ * crossing logical operator that detects it (odd parity = logical flip).
+ * Only meaningful when the residual syndrome is zero; exposed separately
+ * for tests.
+ */
+bool crossingParity(const ErrorState &residual, ErrorType type);
+
+} // namespace nisqpp
+
+#endif // NISQPP_SURFACE_LOGICAL_HH

@@ -1,0 +1,64 @@
+#include "surface/syndrome.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+Syndrome::Syndrome(const SurfaceLattice &lattice, ErrorType type)
+    : type_(type), bits_(lattice.numAncilla(type), 0)
+{
+}
+
+void
+Syndrome::clear()
+{
+    std::fill(bits_.begin(), bits_.end(), 0);
+}
+
+int
+Syndrome::weight() const
+{
+    int w = 0;
+    for (char b : bits_)
+        w += b;
+    return w;
+}
+
+std::vector<int>
+Syndrome::hotList() const
+{
+    std::vector<int> hot;
+    for (std::size_t i = 0; i < bits_.size(); ++i)
+        if (bits_[i])
+            hot.push_back(static_cast<int>(i));
+    return hot;
+}
+
+Syndrome
+extractSyndrome(const ErrorState &state, ErrorType type)
+{
+    const SurfaceLattice &lat = state.lattice();
+    Syndrome syn(lat, type);
+    const auto &bits = state.bits(type);
+    for (int a = 0; a < lat.numAncilla(type); ++a) {
+        char parity = 0;
+        for (int d : lat.ancillaDataNeighbors(type, a))
+            parity ^= bits[d];
+        syn.set(a, parity);
+    }
+    return syn;
+}
+
+Syndrome
+syndromeOfFlips(const SurfaceLattice &lattice, ErrorType type,
+                const std::vector<int> &data_flips)
+{
+    ErrorState state(lattice);
+    for (int d : data_flips)
+        state.flip(type, d);
+    return extractSyndrome(state, type);
+}
+
+} // namespace nisqpp

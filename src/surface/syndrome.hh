@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error syndromes (paper Section II-C1): the bit string of ancilla
+ * measurement outcomes. Ancillas returning +1 ("hot syndromes") mark odd
+ * error parity in their data-qubit sets. Extraction is available both as
+ * direct stabilizer parity and through the full Fig. 3 stabilizer circuits
+ * executed on the Pauli-frame simulator; the two agree by construction and
+ * are cross-checked in tests.
+ */
+
+#ifndef NISQPP_SURFACE_SYNDROME_HH
+#define NISQPP_SURFACE_SYNDROME_HH
+
+#include <vector>
+
+#include "surface/error_state.hh"
+#include "surface/lattice.hh"
+
+namespace nisqpp {
+
+/** Syndrome bits for one ancilla family (the one detecting one type). */
+class Syndrome
+{
+  public:
+    Syndrome(const SurfaceLattice &lattice, ErrorType type);
+
+    ErrorType type() const { return type_; }
+    int size() const { return static_cast<int>(bits_.size()); }
+
+    bool hot(int ancilla_idx) const { return bits_.at(ancilla_idx); }
+    void set(int ancilla_idx, bool v) { bits_.at(ancilla_idx) = v; }
+    void flip(int ancilla_idx) { bits_.at(ancilla_idx) ^= 1; }
+    void clear();
+
+    /** Number of hot (firing) ancillas. */
+    int weight() const;
+
+    /** Compact indices of hot ancillas, ascending. */
+    std::vector<int> hotList() const;
+
+    bool operator==(const Syndrome &o) const = default;
+
+  private:
+    ErrorType type_;
+    std::vector<char> bits_;
+};
+
+/**
+ * Direct syndrome extraction: parity of @p type error bits over each
+ * detecting ancilla's data neighbors (perfect measurement).
+ */
+Syndrome extractSyndrome(const ErrorState &state, ErrorType type);
+
+/**
+ * Apply a correction chain expressed as data-qubit flips and verify the
+ * syndrome it would clear. Helper shared by decoder tests.
+ */
+Syndrome syndromeOfFlips(const SurfaceLattice &lattice, ErrorType type,
+                         const std::vector<int> &data_flips);
+
+} // namespace nisqpp
+
+#endif // NISQPP_SURFACE_SYNDROME_HH

@@ -1,0 +1,124 @@
+/** @file Tests for the backlog execution-time model (Section III). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backlog/backlog_sim.hh"
+#include "circuits/benchmarks.hh"
+
+namespace nisqpp {
+namespace {
+
+/** A k-T-gate straight-line circuit for controlled experiments. */
+QCircuit
+tChain(int k)
+{
+    QCircuit qc(1, "t_chain");
+    for (int i = 0; i < k; ++i)
+        qc.t(0);
+    return qc;
+}
+
+TEST(Backlog, FastDecoderNoOverhead)
+{
+    BacklogParams params;
+    params.decodeCycleNs = 200.0; // f = 0.5
+    const BacklogResult res = simulateBacklog(tChain(50), params);
+    EXPECT_DOUBLE_EQ(res.idleNs, 0.0);
+    EXPECT_DOUBLE_EQ(res.wallNs, res.computeNs);
+    EXPECT_DOUBLE_EQ(res.overhead(), 1.0);
+}
+
+TEST(Backlog, MatchedRateNoOverhead)
+{
+    BacklogParams params; // f = 1 exactly
+    const BacklogResult res = simulateBacklog(tChain(50), params);
+    EXPECT_NEAR(res.overhead(), 1.0, 1e-12);
+}
+
+TEST(Backlog, SlowDecoderGrowsExponentially)
+{
+    // With f > 1, the stall before the k-th T gate follows f^k: check
+    // the measured stalls against the recurrence.
+    BacklogParams params;
+    params.decodeCycleNs = 800.0; // f = 2
+    const BacklogResult res = simulateBacklog(tChain(12), params);
+    ASSERT_EQ(res.tGates.size(), 12u);
+    // The ratio converges to f once the geometric term dominates the
+    // per-gate generation; skip the early transient.
+    for (std::size_t i = 5; i < res.tGates.size(); ++i) {
+        const double ratio =
+            res.tGates[i].stallNs / res.tGates[i - 1].stallNs;
+        EXPECT_NEAR(ratio, 2.0, 0.25) << "gate " << i;
+    }
+    EXPECT_GT(res.overhead(), 50.0);
+}
+
+TEST(Backlog, AnalyticRecurrence)
+{
+    EXPECT_DOUBLE_EQ(analyticBacklogRounds(2.0, 10, 1.0), 1024.0);
+    EXPECT_DOUBLE_EQ(analyticBacklogRounds(1.0, 100, 3.0), 3.0);
+    EXPECT_NEAR(analyticBacklogRounds(1.5, 4, 2.0),
+                2.0 * std::pow(1.5, 4), 1e-12);
+}
+
+TEST(Backlog, MeasuredBacklogTracksAnalytic)
+{
+    BacklogParams params;
+    params.decodeCycleNs = 600.0; // f = 1.5
+    const BacklogResult res = simulateBacklog(tChain(16), params);
+    const double b6 = res.tGates[6].backlogRounds;
+    for (std::size_t i = 7; i < res.tGates.size(); ++i) {
+        const double expected = analyticBacklogRounds(
+            1.5, static_cast<int>(i - 6), b6);
+        EXPECT_NEAR(res.tGates[i].backlogRounds / expected, 1.0, 0.35)
+            << "gate " << i;
+    }
+}
+
+TEST(Backlog, MonotoneInRatio)
+{
+    const QCircuit qc = tChain(30);
+    double prev = 0;
+    for (double f : {0.5, 1.0, 1.2, 1.5, 2.0}) {
+        BacklogParams params;
+        params.decodeCycleNs = f * params.syndromeCycleNs;
+        const double wall = simulateBacklog(qc, params).wallNs;
+        EXPECT_GE(wall, prev);
+        prev = wall;
+    }
+}
+
+TEST(Backlog, SaturatesInsteadOfOverflowing)
+{
+    BacklogParams params;
+    params.decodeCycleNs = 1200.0; // f = 3
+    const BacklogResult res =
+        simulateBacklog(cuccaroAdder(20), params); // 280 T gates
+    EXPECT_TRUE(std::isfinite(res.wallNs));
+}
+
+TEST(Backlog, RunningTimeSweepShapes)
+{
+    const QCircuit qc = takahashiAdder(20);
+    const auto series =
+        runningTimeVsRatio(qc, 400.0, {0.5, 0.9, 1.0, 1.5, 2.0});
+    ASSERT_EQ(series.size(), 5u);
+    // Flat below 1, explosive above.
+    EXPECT_NEAR(series[0].second, series[1].second, 1e-6);
+    EXPECT_GT(series[4].second, series[2].second * 1e10);
+}
+
+TEST(Backlog, ToffolisAreExpandedToTGates)
+{
+    QCircuit qc(3, "toff");
+    qc.toffoli(0, 1, 2);
+    BacklogParams params;
+    params.decodeCycleNs = 800.0;
+    const BacklogResult res = simulateBacklog(qc, params);
+    EXPECT_EQ(res.tGates.size(), 7u);
+}
+
+} // namespace
+} // namespace nisqpp

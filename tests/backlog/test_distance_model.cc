@@ -1,0 +1,111 @@
+/** @file Tests for the Fig. 11 required-code-distance model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "backlog/distance_model.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(DistanceModel, EffectiveGatesFastDecoder)
+{
+    EXPECT_DOUBLE_EQ(logEffectiveGates(0.5, 100), std::log(100.0));
+    EXPECT_DOUBLE_EQ(logEffectiveGates(1.0, 100), std::log(100.0));
+}
+
+TEST(DistanceModel, EffectiveGatesExactSmallCase)
+{
+    // f=2, k=3: 2 + 4 + 8 = 14.
+    EXPECT_NEAR(logEffectiveGates(2.0, 3), std::log(14.0), 1e-12);
+}
+
+TEST(DistanceModel, EffectiveGatesLargeKClosedForm)
+{
+    // Large k uses the closed form ~ k ln f + ln(f/(f-1)).
+    const double lg = logEffectiveGates(2.0, 1000);
+    EXPECT_NEAR(lg, 1000 * std::log(2.0) + std::log(2.0), 1e-6);
+}
+
+TEST(DistanceModel, AboveThresholdImpossible)
+{
+    const auto profile = DecoderProfile::mwpm();
+    DistanceQuery query;
+    query.physicalErrorRate = 0.2; // above every threshold
+    EXPECT_FALSE(requiredDistance(profile, query).has_value());
+}
+
+TEST(DistanceModel, MonotoneInPhysicalRate)
+{
+    const auto profile = DecoderProfile::sfqDecoder();
+    int prev = 3;
+    for (double p : {1e-5, 1e-4, 1e-3, 1e-2}) {
+        DistanceQuery query;
+        query.physicalErrorRate = p;
+        const auto d = requiredDistance(profile, query);
+        ASSERT_TRUE(d.has_value()) << p;
+        EXPECT_GE(*d, prev);
+        prev = *d;
+    }
+}
+
+TEST(DistanceModel, BacklogInflatesRequiredDistance)
+{
+    // The core Fig. 11 claim: at the same physical rate, the offline
+    // MWPM (f > 1) needs a much larger distance than the online SFQ
+    // decoder, and than the hypothetical no-backlog MWPM.
+    DistanceQuery query;
+    query.physicalErrorRate = 1e-3;
+    const auto d_sfq =
+        requiredDistance(DecoderProfile::sfqDecoder(), query);
+    const auto d_mwpm = requiredDistance(DecoderProfile::mwpm(), query);
+    const auto d_ideal =
+        requiredDistance(DecoderProfile::mwpmNoBacklog(), query);
+    ASSERT_TRUE(d_sfq && d_mwpm && d_ideal);
+    EXPECT_GT(*d_mwpm, *d_sfq);
+    EXPECT_GE(*d_mwpm, 5 * *d_ideal);
+    EXPECT_LE(*d_ideal, *d_sfq);
+}
+
+TEST(DistanceModel, UnionFindAlsoBacklogged)
+{
+    DistanceQuery query;
+    query.physicalErrorRate = 1e-3;
+    const auto d_uf =
+        requiredDistance(DecoderProfile::unionFind(), query);
+    const auto d_ideal =
+        requiredDistance(DecoderProfile::mwpmNoBacklog(), query);
+    ASSERT_TRUE(d_uf && d_ideal);
+    EXPECT_GT(*d_uf, *d_ideal);
+}
+
+TEST(DistanceModel, MoreTGatesNeedMoreDistance)
+{
+    const auto profile = DecoderProfile::mwpm();
+    DistanceQuery q1, q2;
+    q1.physicalErrorRate = q2.physicalErrorRate = 1e-3;
+    q1.tGates = 10;
+    q2.tGates = 1000;
+    const auto d1 = requiredDistance(profile, q1);
+    const auto d2 = requiredDistance(profile, q2);
+    ASSERT_TRUE(d1 && d2);
+    EXPECT_GT(*d2, *d1);
+}
+
+TEST(DistanceModel, ReturnedDistancesAreOdd)
+{
+    DistanceQuery query;
+    query.physicalErrorRate = 1e-3;
+    for (const auto &profile :
+         {DecoderProfile::sfqDecoder(), DecoderProfile::mwpm(),
+          DecoderProfile::neuralNet(), DecoderProfile::unionFind(),
+          DecoderProfile::mwpmNoBacklog()}) {
+        const auto d = requiredDistance(profile, query);
+        ASSERT_TRUE(d.has_value()) << profile.name;
+        EXPECT_EQ(*d % 2, 1) << profile.name;
+    }
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,68 @@
+/** @file Tests reproducing the paper's SQV arithmetic (Fig. 1). */
+
+#include <gtest/gtest.h>
+
+#include "backlog/sqv.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(Sqv, ScalingModelEvaluates)
+{
+    ScalingModel model{0.03, 0.05, 1.0};
+    EXPECT_NEAR(model.logicalErrorRate(3, 0.05), 0.03, 1e-12);
+    EXPECT_LT(model.logicalErrorRate(5, 0.01),
+              model.logicalErrorRate(3, 0.01));
+}
+
+TEST(Sqv, TileFootprints)
+{
+    EXPECT_EQ(SqvMachine::tileQubits(3), 13);
+    EXPECT_EQ(SqvMachine::tileQubits(5), 41);
+    EXPECT_EQ(SqvMachine::tileQubits(9), 145);
+}
+
+TEST(Sqv, PaperDesignPointD3)
+{
+    // Paper: 1024 physical qubits at p = 1e-5, d = 3 -> 78 logical
+    // qubits, PL = 2.94e-9, SQV = 3.4e8, boost 3402.
+    SqvMachine machine;
+    ScalingModel model; // overridden below
+    const SqvPoint point = sqvPoint(machine, model, 3, 2.94e-9);
+    EXPECT_EQ(point.logicalQubits, 78);
+    EXPECT_NEAR(point.sqv, 3.4e8, 0.01e8);
+    EXPECT_NEAR(point.boost, 3402, 60);
+}
+
+TEST(Sqv, PaperDesignPointD5)
+{
+    SqvMachine machine;
+    ScalingModel model;
+    const SqvPoint point = sqvPoint(machine, model, 5, 8.96e-10);
+    EXPECT_NEAR(point.sqv, 1.12e9, 0.01e9);
+    EXPECT_NEAR(point.boost, 11163, 120);
+}
+
+TEST(Sqv, ModelDrivenPointIsConsistent)
+{
+    SqvMachine machine;
+    ScalingModel model{0.03, 0.05, 0.65};
+    const SqvPoint point = sqvPoint(machine, model, 3);
+    EXPECT_GT(point.boost, 100.0);
+    EXPECT_DOUBLE_EQ(point.sqv, 1.0 / point.logicalErrorRate);
+    EXPECT_DOUBLE_EQ(point.gatesPerQubit * point.logicalQubits,
+                     point.sqv);
+}
+
+TEST(Sqv, HigherDistanceLowersLogicalRate)
+{
+    SqvMachine machine;
+    ScalingModel model{0.03, 0.05, 0.5};
+    const SqvPoint d3 = sqvPoint(machine, model, 3);
+    const SqvPoint d5 = sqvPoint(machine, model, 5);
+    EXPECT_LT(d5.logicalErrorRate, d3.logicalErrorRate);
+    EXPECT_LT(d5.logicalQubits, d3.logicalQubits);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,72 @@
+/** @file Tests for the quantum circuit IR. */
+
+#include <gtest/gtest.h>
+
+#include "circuits/circuit.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(Circuit, GateEmission)
+{
+    QCircuit qc(3, "t");
+    qc.h(0);
+    qc.cnot(0, 1);
+    qc.toffoli(0, 1, 2);
+    qc.t(2);
+    EXPECT_EQ(qc.size(), 4u);
+    EXPECT_EQ(qc.countKind(GateKind::H), 1u);
+    EXPECT_EQ(qc.countKind(GateKind::Cnot), 1u);
+    EXPECT_EQ(qc.countKind(GateKind::Toffoli), 1u);
+    EXPECT_EQ(qc.tCount(), 1u);
+}
+
+TEST(Circuit, TdgCountsAsT)
+{
+    QCircuit qc(1, "t");
+    qc.t(0);
+    qc.tdg(0);
+    EXPECT_EQ(qc.tCount(), 2u);
+}
+
+TEST(Circuit, DepthTracksOperandConflicts)
+{
+    QCircuit qc(3, "t");
+    qc.h(0);
+    qc.h(1); // parallel with previous
+    EXPECT_EQ(qc.depth(), 1);
+    qc.cnot(0, 1); // serializes after both
+    EXPECT_EQ(qc.depth(), 2);
+    qc.h(2); // parallel track
+    EXPECT_EQ(qc.depth(), 2);
+}
+
+TEST(Circuit, OperandValidation)
+{
+    QCircuit qc(2, "t");
+    EXPECT_DEATH(qc.h(5), "out of range");
+    EXPECT_DEATH(qc.cnot(1, 1), "repeated operand");
+}
+
+TEST(Circuit, GateMetadata)
+{
+    EXPECT_TRUE(isTGate(GateKind::T));
+    EXPECT_TRUE(isTGate(GateKind::Tdg));
+    EXPECT_FALSE(isTGate(GateKind::S));
+    EXPECT_EQ(gateArity(GateKind::Toffoli), 3);
+    EXPECT_EQ(gateArity(GateKind::Cnot), 2);
+    EXPECT_EQ(gateArity(GateKind::H), 1);
+    EXPECT_EQ(gateName(GateKind::Toffoli), "ccx");
+}
+
+TEST(Circuit, Append)
+{
+    QCircuit a(2, "a"), b(2, "b");
+    a.h(0);
+    b.cnot(0, 1);
+    a.append(b);
+    EXPECT_EQ(a.size(), 2u);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,57 @@
+/** @file Tests for Clifford+T decomposition. */
+
+#include <gtest/gtest.h>
+
+#include "circuits/decompose.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(Decompose, ToffoliExpansion)
+{
+    QCircuit qc(3, "t");
+    qc.toffoli(0, 1, 2);
+    const QCircuit out = decomposeToffoli(qc);
+    EXPECT_EQ(out.countKind(GateKind::Toffoli), 0u);
+    EXPECT_EQ(out.size(), static_cast<std::size_t>(kToffoliGates));
+    EXPECT_EQ(out.tCount(), static_cast<std::size_t>(kToffoliTCount));
+    EXPECT_EQ(out.countKind(GateKind::H), 2u);
+    EXPECT_EQ(out.countKind(GateKind::Cnot), 6u);
+}
+
+TEST(Decompose, NonToffoliGatesPreserved)
+{
+    QCircuit qc(3, "t");
+    qc.h(0);
+    qc.s(1);
+    qc.cnot(0, 2);
+    qc.toffoli(0, 1, 2);
+    qc.x(1);
+    const QCircuit out = decomposeToffoli(qc);
+    EXPECT_EQ(out.countKind(GateKind::H), 1u + 2u);
+    EXPECT_EQ(out.countKind(GateKind::S), 1u);
+    EXPECT_EQ(out.countKind(GateKind::X), 1u);
+    EXPECT_EQ(out.countKind(GateKind::Cnot), 1u + 6u);
+}
+
+TEST(Decompose, CountHelpersMatchMaterialization)
+{
+    QCircuit qc(4, "t");
+    qc.toffoli(0, 1, 2);
+    qc.toffoli(1, 2, 3);
+    qc.cnot(0, 3);
+    const QCircuit out = decomposeToffoli(qc);
+    EXPECT_EQ(decomposedTCount(qc), out.tCount());
+    EXPECT_EQ(decomposedGateCount(qc), out.size());
+}
+
+TEST(Decompose, PaperBudgetAddsTwoPerToffoli)
+{
+    QCircuit qc(3, "t");
+    qc.toffoli(0, 1, 2);
+    EXPECT_EQ(decomposedGateCount(qc, kToffoliGatesPaper),
+              decomposedGateCount(qc) + 2);
+}
+
+} // namespace
+} // namespace nisqpp

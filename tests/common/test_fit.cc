@@ -1,0 +1,80 @@
+/** @file Tests for least-squares fitting of the scaling model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/fit.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(FitLinear, ExactLine)
+{
+    const std::vector<double> xs{0, 1, 2, 3, 4};
+    std::vector<double> ys;
+    for (double x : xs)
+        ys.push_back(2.5 * x - 1.0);
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_NEAR(fit.slope, 2.5, 1e-12);
+    EXPECT_NEAR(fit.intercept, -1.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitLinear, NoisyLineLowR2)
+{
+    const std::vector<double> xs{0, 1, 2, 3};
+    const std::vector<double> ys{0, 5, -3, 2};
+    const LinearFit fit = fitLinear(xs, ys);
+    EXPECT_LT(fit.r2, 0.9);
+}
+
+TEST(FitScaling, RecoversModelParameters)
+{
+    // Generate PL = c1 (p/pth)^(c2 d) exactly and recover c1, c2.
+    const double c1 = 0.05, c2 = 0.45, pth = 0.05;
+    const int d = 7;
+    std::vector<double> ps, pls;
+    for (double p : {0.005, 0.01, 0.02, 0.03, 0.04})
+    {
+        ps.push_back(p);
+        pls.push_back(c1 * std::pow(p / pth, c2 * d));
+    }
+    const ScalingFit fit = fitScalingModel(ps, pls, pth, d);
+    EXPECT_NEAR(fit.c1, c1, 1e-10);
+    EXPECT_NEAR(fit.c2, c2, 1e-10);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(FitScaling, SkipsZeroSamples)
+{
+    const std::vector<double> ps{0.01, 0.02, 0.03, 0.04};
+    const std::vector<double> pls{0.0, 1e-3, 2e-3, 4e-3};
+    const ScalingFit fit = fitScalingModel(ps, pls, 0.05, 3);
+    EXPECT_GT(fit.c2, 0.0);
+}
+
+/** Parameterized exact-recovery sweep across distances. */
+class FitScalingParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FitScalingParam, RecoveryAcrossDistances)
+{
+    const int d = GetParam();
+    const double c1 = 0.03, c2 = 0.65, pth = 0.05;
+    std::vector<double> ps, pls;
+    for (double p : {0.01, 0.015, 0.02, 0.03})
+    {
+        ps.push_back(p);
+        pls.push_back(c1 * std::pow(p / pth, c2 * d));
+    }
+    const ScalingFit fit = fitScalingModel(ps, pls, pth, d);
+    EXPECT_NEAR(fit.c2, c2, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, FitScalingParam,
+                         ::testing::Values(3, 5, 7, 9, 11));
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,116 @@
+/** @file Tests for running statistics, histograms, Wilson intervals. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownSequence)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    Rng rng(5);
+    RunningStats all, a, b;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform() * 10;
+        all.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 3.0);
+}
+
+TEST(Histogram, BinsAndOverflow)
+{
+    Histogram h(4);
+    for (std::size_t v : {0u, 1u, 1u, 4u, 9u})
+        h.add(v);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_EQ(h.bin(0), 1u);
+    EXPECT_EQ(h.bin(1), 2u);
+    EXPECT_EQ(h.bin(4), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+    EXPECT_DOUBLE_EQ(h.density(1), 0.4);
+    EXPECT_EQ(h.firstNonzero(), 0u);
+    EXPECT_EQ(h.lastNonzero(), 4u);
+}
+
+TEST(Histogram, EmptyDensity)
+{
+    Histogram h(3);
+    EXPECT_DOUBLE_EQ(h.density(0), 0.0);
+    EXPECT_EQ(h.firstNonzero(), h.numBins());
+}
+
+TEST(Wilson, ZeroTrials)
+{
+    const auto ci = wilson95(0, 0);
+    EXPECT_DOUBLE_EQ(ci.lo, 0.0);
+    EXPECT_DOUBLE_EQ(ci.hi, 1.0);
+}
+
+TEST(Wilson, BracketsPointEstimate)
+{
+    const auto ci = wilson95(30, 100);
+    EXPECT_LT(ci.lo, 0.3);
+    EXPECT_GT(ci.hi, 0.3);
+    EXPECT_GT(ci.lo, 0.2);
+    EXPECT_LT(ci.hi, 0.41);
+}
+
+TEST(Wilson, ShrinksWithSamples)
+{
+    const auto narrow = wilson95(300, 1000);
+    const auto wide = wilson95(30, 100);
+    EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Wilson, ZeroFailuresStillPositiveUpper)
+{
+    const auto ci = wilson95(0, 1000);
+    EXPECT_NEAR(ci.lo, 0.0, 1e-12);
+    EXPECT_GT(ci.hi, 0.0);
+    EXPECT_LT(ci.hi, 0.01);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,45 @@
+/** @file Tests for the aligned table printer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(Table, AlignsColumns)
+{
+    TablePrinter t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    // Header and separator and two rows.
+    int lines = 0;
+    for (char c : out)
+        lines += (c == '\n');
+    EXPECT_EQ(lines, 4);
+}
+
+TEST(Table, CsvOutput)
+{
+    TablePrinter t({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(3.14159, 3), "3.14");
+    EXPECT_EQ(TablePrinter::sci(12345.0, 2), "1.23e+04");
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,192 @@
+/**
+ * @file Protocol-level pairing tests of the mesh decoder: collinear and
+ * corner pairings, boundary handshakes, request-grant arbitration and
+ * handshake timing (paper Fig. 7 and Section V-C).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/mesh_decoder.hh"
+
+namespace nisqpp {
+namespace {
+
+Syndrome
+makeSyndrome(const SurfaceLattice &lat, ErrorType type,
+             std::initializer_list<Coord> hot)
+{
+    Syndrome syn(lat, type);
+    for (Coord c : hot)
+        syn.set(lat.ancillaIndex(type, c), true);
+    return syn;
+}
+
+bool
+containsData(const SurfaceLattice &lat, const Correction &corr, Coord c)
+{
+    const int idx = lat.dataIndex(c);
+    return std::count(corr.dataFlips.begin(), corr.dataFlips.end(),
+                      idx) %
+               2 ==
+           1;
+}
+
+TEST(MeshPairing, AdjacentHorizontalPair)
+{
+    SurfaceLattice lat(5);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(
+        makeSyndrome(lat, ErrorType::Z, {{2, 3}, {2, 5}}));
+    ASSERT_EQ(corr.dataFlips.size(), 1u);
+    EXPECT_TRUE(containsData(lat, corr, {2, 4}));
+    EXPECT_EQ(dec.lastStats().pairings, 2);
+    EXPECT_EQ(dec.lastStats().resets, 1);
+}
+
+TEST(MeshPairing, AdjacentVerticalPair)
+{
+    SurfaceLattice lat(5);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(
+        makeSyndrome(lat, ErrorType::Z, {{2, 3}, {4, 3}}));
+    ASSERT_EQ(corr.dataFlips.size(), 1u);
+    EXPECT_TRUE(containsData(lat, corr, {3, 3}));
+}
+
+TEST(MeshPairing, CornerPairTracesLPath)
+{
+    SurfaceLattice lat(5);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(
+        makeSyndrome(lat, ErrorType::Z, {{2, 3}, {4, 5}}));
+    // Two data corrections forming an L between the ancillas.
+    ASSERT_EQ(corr.dataFlips.size(), 2u);
+    EXPECT_EQ(dec.lastStats().pairings, 2);
+}
+
+TEST(MeshPairing, CollinearHandshakeTiming)
+{
+    // Mesh distance M between the pair: grow meets at M/2, requests
+    // arrive at M, grants meet at 3M/2, pair pulses land at 2M; plus
+    // post-fire drain. Completion must sit near 2M.
+    SurfaceLattice lat(7);
+    MeshDecoder dec(lat, ErrorType::Z);
+    dec.decode(makeSyndrome(lat, ErrorType::Z, {{6, 5}, {6, 9}}));
+    const int m = 4; // both far from the boundaries (6 hops away)
+    EXPECT_GE(dec.lastStats().cycles, 2 * m);
+    EXPECT_LE(dec.lastStats().cycles, 2 * m + 4);
+}
+
+TEST(MeshPairing, BoundaryHandshakeWest)
+{
+    SurfaceLattice lat(5);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr =
+        dec.decode(makeSyndrome(lat, ErrorType::Z, {{2, 1}}));
+    ASSERT_EQ(corr.dataFlips.size(), 1u);
+    EXPECT_TRUE(containsData(lat, corr, {2, 0}));
+    // Round trip: grow 2, request 2, grant 2, pair 2 (plus drain).
+    EXPECT_GE(dec.lastStats().cycles, 8);
+    EXPECT_LE(dec.lastStats().cycles, 12);
+}
+
+TEST(MeshPairing, BoundaryHandshakeEastWhenCloser)
+{
+    SurfaceLattice lat(5);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr =
+        dec.decode(makeSyndrome(lat, ErrorType::Z, {{2, 7}}));
+    ASSERT_EQ(corr.dataFlips.size(), 1u);
+    EXPECT_TRUE(containsData(lat, corr, {2, 8}));
+}
+
+TEST(MeshPairing, XFamilyUsesNorthSouthBoundaries)
+{
+    SurfaceLattice lat(5);
+    MeshDecoder dec(lat, ErrorType::X);
+    const Correction corr =
+        dec.decode(makeSyndrome(lat, ErrorType::X, {{1, 2}}));
+    ASSERT_EQ(corr.dataFlips.size(), 1u);
+    EXPECT_TRUE(containsData(lat, corr, {0, 2}));
+}
+
+TEST(MeshPairing, NearPairBeatsFarBoundary)
+{
+    // Two central syndromes one apart must pair together, not with the
+    // distant boundaries.
+    SurfaceLattice lat(9);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(
+        makeSyndrome(lat, ErrorType::Z, {{8, 7}, {8, 9}}));
+    ASSERT_EQ(corr.dataFlips.size(), 1u);
+    EXPECT_TRUE(containsData(lat, corr, {8, 8}));
+}
+
+TEST(MeshPairing, CloseBoundaryBeatsFarPartner)
+{
+    // Syndromes hugging opposite boundaries pair to their boundaries:
+    // handshake 4*2 = 8 cycles beats partner handshake 2*12 = 24.
+    SurfaceLattice lat(7);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(
+        makeSyndrome(lat, ErrorType::Z, {{6, 1}, {6, 11}}));
+    ASSERT_EQ(corr.dataFlips.size(), 2u);
+    EXPECT_TRUE(containsData(lat, corr, {6, 0}));
+    EXPECT_TRUE(containsData(lat, corr, {6, 12}));
+}
+
+TEST(MeshPairing, ThreeSyndromesGreedyOrder)
+{
+    // A, B close together; C far: A-B pair first, C goes to boundary.
+    SurfaceLattice lat(7);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(makeSyndrome(
+        lat, ErrorType::Z, {{6, 5}, {6, 7}, {0, 11}}));
+    EXPECT_EQ(dec.lastStats().remainingHot, 0);
+    EXPECT_TRUE(containsData(lat, corr, {6, 6}));
+    EXPECT_TRUE(containsData(lat, corr, {0, 12}));
+}
+
+TEST(MeshPairing, EquidistantTripleResolvesAll)
+{
+    // B equidistant from A and C (Fig. 8(c)): the request-grant
+    // arbitration pairs B with exactly one of them; the final design
+    // leaves no syndrome unresolved.
+    SurfaceLattice lat(7);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(makeSyndrome(
+        lat, ErrorType::Z, {{6, 3}, {6, 7}, {6, 11}}));
+    EXPECT_EQ(dec.lastStats().remainingHot, 0);
+    // Residual must be syndrome-free.
+    ErrorState st(lat);
+    for (int f : corr.dataFlips)
+        st.flip(ErrorType::Z, f);
+    Syndrome after = extractSyndrome(st, ErrorType::Z);
+    after.flip(lat.ancillaIndex(ErrorType::Z, {6, 3}));
+    after.flip(lat.ancillaIndex(ErrorType::Z, {6, 7}));
+    after.flip(lat.ancillaIndex(ErrorType::Z, {6, 11}));
+    EXPECT_EQ(after.weight(), 0);
+}
+
+TEST(MeshPairing, ChainsFromSuccessiveRoundsCompose)
+{
+    // The regression of the destructive-read accumulation: a later
+    // boundary chain crossing an earlier pairing chain must XOR, not
+    // OR (three collinear syndromes at mixed spacing).
+    SurfaceLattice lat(7);
+    MeshDecoder dec(lat, ErrorType::Z);
+    const Correction corr = dec.decode(makeSyndrome(
+        lat, ErrorType::Z, {{2, 7}, {2, 9}, {2, 11}}));
+    ErrorState st(lat);
+    for (int f : corr.dataFlips)
+        st.flip(ErrorType::Z, f);
+    Syndrome after = extractSyndrome(st, ErrorType::Z);
+    for (Coord c : {Coord{2, 7}, Coord{2, 9}, Coord{2, 11}})
+        after.flip(lat.ancillaIndex(ErrorType::Z, c));
+    EXPECT_EQ(after.weight(), 0);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,153 @@
+/** @file Tests for the shared module-logic primitives. */
+
+#include <gtest/gtest.h>
+
+#include "core/module_logic.hh"
+
+namespace nisqpp {
+namespace {
+
+using Word = std::uint64_t;
+
+constexpr int dN = static_cast<int>(Dir::N);
+constexpr int dE = static_cast<int>(Dir::E);
+constexpr int dS = static_cast<int>(Dir::S);
+constexpr int dW = static_cast<int>(Dir::W);
+
+TEST(Dir, ReverseIsInvolution)
+{
+    for (Dir d : {Dir::N, Dir::E, Dir::S, Dir::W})
+        EXPECT_EQ(reverseDir(reverseDir(d)), d);
+    EXPECT_EQ(reverseDir(Dir::N), Dir::S);
+    EXPECT_EQ(reverseDir(Dir::E), Dir::W);
+}
+
+TEST(EmitFromMeets, HeadOnEastWest)
+{
+    DirRow<Word> in{0, 1, 0, 1}; // E and W present
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{1}, out);
+    EXPECT_EQ(out[dW], 1u); // back toward the east-traveling origin
+    EXPECT_EQ(out[dE], 1u);
+    EXPECT_EQ(out[dN], 0u);
+    EXPECT_EQ(out[dS], 0u);
+}
+
+TEST(EmitFromMeets, HeadOnNorthSouth)
+{
+    DirRow<Word> in{1, 0, 1, 0};
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{1}, out);
+    EXPECT_EQ(out[dN], 1u);
+    EXPECT_EQ(out[dS], 1u);
+    EXPECT_EQ(out[dE], 0u);
+    EXPECT_EQ(out[dW], 0u);
+}
+
+TEST(EmitFromMeets, EffectiveCornerSE)
+{
+    // Travel pair {S, E} — the paper's "from up and left" effective
+    // corner — emits N and W.
+    DirRow<Word> in{0, 1, 1, 0};
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{1}, out);
+    EXPECT_EQ(out[dN], 1u);
+    EXPECT_EQ(out[dW], 1u);
+    EXPECT_EQ(out[dE], 0u);
+    EXPECT_EQ(out[dS], 0u);
+}
+
+TEST(EmitFromMeets, EffectiveCornerSW)
+{
+    DirRow<Word> in{0, 0, 1, 1}; // {S, W} -> emits N and E
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{1}, out);
+    EXPECT_EQ(out[dN], 1u);
+    EXPECT_EQ(out[dE], 1u);
+}
+
+TEST(EmitFromMeets, IneffectiveCorners)
+{
+    // {N, W} and {N, E} are the hardwired ineffective pairs.
+    for (DirRow<Word> in : {DirRow<Word>{1, 0, 0, 1},
+                            DirRow<Word>{1, 1, 0, 0}}) {
+        DirRow<Word> out{0, 0, 0, 0};
+        emitFromMeets(in, Word{1}, out);
+        EXPECT_EQ(out[dN] | out[dE] | out[dS] | out[dW], 0u);
+    }
+}
+
+TEST(EmitFromMeets, PriorityEWOverOthers)
+{
+    // All four directions present: only the {E,W} pair may fire.
+    DirRow<Word> in{1, 1, 1, 1};
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{1}, out);
+    EXPECT_EQ(out[dE], 1u);
+    EXPECT_EQ(out[dW], 1u);
+    EXPECT_EQ(out[dN], 0u);
+    EXPECT_EQ(out[dS], 0u);
+}
+
+TEST(EmitFromMeets, AllowMaskGates)
+{
+    DirRow<Word> in{0, 1, 0, 1};
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{0}, out);
+    EXPECT_EQ(out[dE] | out[dW], 0u);
+}
+
+TEST(EmitFromMeets, WordParallel)
+{
+    // Bit 0: head-on E/W; bit 1: corner {S,E}; bit 2: nothing.
+    DirRow<Word> in{};
+    in[dE] = 0b011;
+    in[dW] = 0b001;
+    in[dS] = 0b010;
+    in[dN] = 0b000;
+    DirRow<Word> out{0, 0, 0, 0};
+    emitFromMeets(in, Word{0b111}, out);
+    EXPECT_EQ(out[dW], 0b011u); // bit0 from EW, bit1 from SE
+    EXPECT_EQ(out[dE], 0b001u);
+    EXPECT_EQ(out[dN], 0b010u);
+    EXPECT_EQ(out[dS], 0b000u);
+}
+
+TEST(GrantLatch, SingleRequestLatchesReversed)
+{
+    DirRow<Word> rq{0, 0, 0, 1}; // request traveling W (from the east)
+    DirRow<Word> latch{0, 0, 0, 0};
+    updateGrantLatch(rq, Word{1}, latch);
+    EXPECT_EQ(latch[dE], 1u); // grant travels back east
+    EXPECT_EQ(latch[dN] | latch[dS] | latch[dW], 0u);
+}
+
+TEST(GrantLatch, OnlyOneGrantUnderContention)
+{
+    DirRow<Word> rq{1, 1, 1, 1};
+    DirRow<Word> latch{0, 0, 0, 0};
+    updateGrantLatch(rq, Word{1}, latch);
+    EXPECT_EQ(latch[dN] + latch[dE] + latch[dS] + latch[dW], 1u);
+    // Priority: request traveling W wins -> grant East.
+    EXPECT_EQ(latch[dE], 1u);
+}
+
+TEST(GrantLatch, ExistingLatchBlocksNew)
+{
+    DirRow<Word> rq{1, 0, 0, 0};
+    DirRow<Word> latch{0, 0, 1, 0}; // already granted S
+    updateGrantLatch(rq, Word{1}, latch);
+    EXPECT_EQ(latch[dS], 1u);
+    EXPECT_EQ(latch[dN] | latch[dE] | latch[dW], 0u);
+}
+
+TEST(GrantLatch, NonHotNeverLatches)
+{
+    DirRow<Word> rq{1, 1, 1, 1};
+    DirRow<Word> latch{0, 0, 0, 0};
+    updateGrantLatch(rq, Word{0}, latch);
+    EXPECT_EQ(latch[dN] | latch[dE] | latch[dS] | latch[dW], 0u);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,61 @@
+/** @file Tests for the syndrome matching graph. */
+
+#include <gtest/gtest.h>
+
+#include "decoders/matching_graph.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(MatchingGraph, NodesAreHotAncillas)
+{
+    SurfaceLattice lat(5);
+    Syndrome syn(lat, ErrorType::Z);
+    syn.set(2, true);
+    syn.set(7, true);
+    MatchingGraph graph(lat, ErrorType::Z, syn);
+    ASSERT_EQ(graph.numNodes(), 2);
+    EXPECT_EQ(graph.ancillaOf(0), 2);
+    EXPECT_EQ(graph.ancillaOf(1), 7);
+}
+
+TEST(MatchingGraph, WeightsMatchLattice)
+{
+    SurfaceLattice lat(5);
+    Syndrome syn(lat, ErrorType::Z);
+    const int a = lat.ancillaIndex(ErrorType::Z, {0, 1});
+    const int b = lat.ancillaIndex(ErrorType::Z, {4, 5});
+    syn.set(a, true);
+    syn.set(b, true);
+    MatchingGraph graph(lat, ErrorType::Z, syn);
+    EXPECT_EQ(graph.pairWeight(0, 1),
+              lat.ancillaGraphDistance(ErrorType::Z, a, b));
+    EXPECT_EQ(graph.boundaryWeight(0),
+              lat.ancillaBoundaryDistance(ErrorType::Z, a));
+}
+
+TEST(MatchingGraph, TotalWeightOfMatching)
+{
+    SurfaceLattice lat(5);
+    Syndrome syn(lat, ErrorType::Z);
+    const int a = lat.ancillaIndex(ErrorType::Z, {0, 1});
+    const int b = lat.ancillaIndex(ErrorType::Z, {0, 3});
+    syn.set(a, true);
+    syn.set(b, true);
+    MatchingGraph graph(lat, ErrorType::Z, syn);
+    const std::vector<MatchPair> pairs{{a, b, false}};
+    EXPECT_EQ(graph.totalWeight(pairs), 1);
+    const std::vector<MatchPair> boundary{{a, -1, true}, {b, -1, true}};
+    EXPECT_EQ(graph.totalWeight(boundary), 1 + 2);
+}
+
+TEST(MatchingGraph, EmptySyndrome)
+{
+    SurfaceLattice lat(3);
+    Syndrome syn(lat, ErrorType::Z);
+    MatchingGraph graph(lat, ErrorType::Z, syn);
+    EXPECT_EQ(graph.numNodes(), 0);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,87 @@
+/**
+ * @file Property tests for correction-chain construction: a chain
+ * between two ancillas must flip exactly those two ancillas; a boundary
+ * chain must flip exactly its ancilla.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "decoders/path.hh"
+#include "surface/syndrome.hh"
+
+namespace nisqpp {
+namespace {
+
+class PathParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PathParam, ChainFlipsExactlyTheEndpoints)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    Rng rng(0x9a7 + d);
+    for (ErrorType type : {ErrorType::Z, ErrorType::X}) {
+        const int na = lat.numAncilla(type);
+        for (int trial = 0; trial < 60; ++trial) {
+            const int a = static_cast<int>(rng.uniformInt(na));
+            int b = static_cast<int>(rng.uniformInt(na));
+            if (a == b)
+                continue;
+            const auto chain = chainBetweenAncillas(lat, type, a, b);
+            EXPECT_EQ(static_cast<int>(chain.size()),
+                      lat.ancillaGraphDistance(type, a, b));
+            const Syndrome syn = syndromeOfFlips(lat, type, chain);
+            EXPECT_EQ(syn.weight(), 2);
+            EXPECT_TRUE(syn.hot(a));
+            EXPECT_TRUE(syn.hot(b));
+        }
+    }
+}
+
+TEST_P(PathParam, BoundaryChainFlipsExactlyTheAncilla)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    for (ErrorType type : {ErrorType::Z, ErrorType::X}) {
+        for (int a = 0; a < lat.numAncilla(type); ++a) {
+            const auto chain = chainToBoundary(lat, type, a);
+            EXPECT_EQ(static_cast<int>(chain.size()),
+                      lat.ancillaBoundaryDistance(type, a));
+            const Syndrome syn = syndromeOfFlips(lat, type, chain);
+            EXPECT_EQ(syn.weight(), 1) << "ancilla " << a;
+            EXPECT_TRUE(syn.hot(a));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, PathParam,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(Path, AdjacentAncillasSingleQubitChain)
+{
+    SurfaceLattice lat(5);
+    const ErrorType t = ErrorType::Z;
+    const int a = lat.ancillaIndex(t, {0, 1});
+    const int b = lat.ancillaIndex(t, {0, 3});
+    const auto chain = chainBetweenAncillas(lat, t, a, b);
+    ASSERT_EQ(chain.size(), 1u);
+    EXPECT_EQ(chain[0], lat.dataIndex({0, 2}));
+}
+
+TEST(Path, LShapedChain)
+{
+    SurfaceLattice lat(5);
+    const ErrorType t = ErrorType::Z;
+    const int a = lat.ancillaIndex(t, {0, 1});
+    const int b = lat.ancillaIndex(t, {2, 3});
+    const auto chain = chainBetweenAncillas(lat, t, a, b);
+    ASSERT_EQ(chain.size(), 2u);
+    // Horizontal leg on a's row, then vertical on b's column.
+    EXPECT_EQ(chain[0], lat.dataIndex({0, 2}));
+    EXPECT_EQ(chain[1], lat.dataIndex({1, 3}));
+}
+
+} // namespace
+} // namespace nisqpp

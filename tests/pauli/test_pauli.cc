@@ -1,0 +1,68 @@
+/** @file Tests for Pauli group algebra. */
+
+#include <gtest/gtest.h>
+
+#include "pauli/pauli.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(Pauli, Components)
+{
+    EXPECT_FALSE(hasX(Pauli::I));
+    EXPECT_FALSE(hasZ(Pauli::I));
+    EXPECT_TRUE(hasX(Pauli::X));
+    EXPECT_FALSE(hasZ(Pauli::X));
+    EXPECT_FALSE(hasX(Pauli::Z));
+    EXPECT_TRUE(hasZ(Pauli::Z));
+    EXPECT_TRUE(hasX(Pauli::Y));
+    EXPECT_TRUE(hasZ(Pauli::Y));
+}
+
+TEST(Pauli, ProductTable)
+{
+    // Full 4x4 multiplication table modulo phase.
+    EXPECT_EQ(mul(Pauli::I, Pauli::X), Pauli::X);
+    EXPECT_EQ(mul(Pauli::X, Pauli::X), Pauli::I);
+    EXPECT_EQ(mul(Pauli::X, Pauli::Z), Pauli::Y);
+    EXPECT_EQ(mul(Pauli::Z, Pauli::X), Pauli::Y);
+    EXPECT_EQ(mul(Pauli::Y, Pauli::X), Pauli::Z);
+    EXPECT_EQ(mul(Pauli::Y, Pauli::Z), Pauli::X);
+    EXPECT_EQ(mul(Pauli::Y, Pauli::Y), Pauli::I);
+    EXPECT_EQ(mul(Pauli::Z, Pauli::Z), Pauli::I);
+}
+
+TEST(Pauli, SelfInverse)
+{
+    for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z})
+        EXPECT_EQ(mul(p, p), Pauli::I);
+}
+
+TEST(Pauli, CommutationTable)
+{
+    // I commutes with all; distinct non-identity Paulis anticommute.
+    for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z}) {
+        EXPECT_TRUE(commutes(Pauli::I, p));
+        EXPECT_TRUE(commutes(p, p));
+    }
+    EXPECT_FALSE(commutes(Pauli::X, Pauli::Z));
+    EXPECT_FALSE(commutes(Pauli::X, Pauli::Y));
+    EXPECT_FALSE(commutes(Pauli::Y, Pauli::Z));
+}
+
+TEST(Pauli, FromXZRoundTrip)
+{
+    for (Pauli p : {Pauli::I, Pauli::X, Pauli::Y, Pauli::Z})
+        EXPECT_EQ(fromXZ(hasX(p), hasZ(p)), p);
+}
+
+TEST(Pauli, Names)
+{
+    EXPECT_EQ(toString(Pauli::I), "I");
+    EXPECT_EQ(toString(Pauli::X), "X");
+    EXPECT_EQ(toString(Pauli::Y), "Y");
+    EXPECT_EQ(toString(Pauli::Z), "Z");
+}
+
+} // namespace
+} // namespace nisqpp

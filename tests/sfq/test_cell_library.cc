@@ -1,0 +1,56 @@
+/** @file Tests for the ERSFQ cell library (paper Table II). */
+
+#include <gtest/gtest.h>
+
+#include "sfq/cell_library.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(CellLibrary, TableTwoNumbers)
+{
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::And2).areaUm2, 4200.0);
+    EXPECT_EQ(cellInfo(CellKind::And2).jjCount, 17);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::And2).delayPs, 9.2);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::Or2).delayPs, 7.2);
+    EXPECT_EQ(cellInfo(CellKind::Or2).jjCount, 12);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::Xor2).delayPs, 5.7);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::Not).delayPs, 9.2);
+    EXPECT_EQ(cellInfo(CellKind::Not).jjCount, 13);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::DroDff).areaUm2, 3360.0);
+    EXPECT_EQ(cellInfo(CellKind::DroDff).jjCount, 10);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::DroDff).delayPs, 5.0);
+}
+
+TEST(CellLibrary, LogicGatePowerMatchesTableThree)
+{
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::And2).powerUw, 0.026);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::Or2).powerUw, 0.026);
+    EXPECT_DOUBLE_EQ(cellInfo(CellKind::Not).powerUw, 0.026);
+}
+
+TEST(CellLibrary, Arity)
+{
+    EXPECT_EQ(cellArity(CellKind::And2), 2);
+    EXPECT_EQ(cellArity(CellKind::Or2), 2);
+    EXPECT_EQ(cellArity(CellKind::Xor2), 2);
+    EXPECT_EQ(cellArity(CellKind::Not), 1);
+    EXPECT_EQ(cellArity(CellKind::DroDff), 1);
+    EXPECT_EQ(cellArity(CellKind::Input), 0);
+}
+
+TEST(CellLibrary, BooleanFunctions)
+{
+    EXPECT_TRUE(evalCell(CellKind::And2, true, true));
+    EXPECT_FALSE(evalCell(CellKind::And2, true, false));
+    EXPECT_TRUE(evalCell(CellKind::Or2, false, true));
+    EXPECT_FALSE(evalCell(CellKind::Or2, false, false));
+    EXPECT_TRUE(evalCell(CellKind::Xor2, true, false));
+    EXPECT_FALSE(evalCell(CellKind::Xor2, true, true));
+    EXPECT_TRUE(evalCell(CellKind::Not, false));
+    EXPECT_FALSE(evalCell(CellKind::Not, true));
+    EXPECT_TRUE(evalCell(CellKind::DroDff, true));
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,126 @@
+/** @file Tests for the Monte Carlo lifetime simulator. */
+
+#include <gtest/gtest.h>
+
+#include "decoders/mwpm_decoder.hh"
+#include "sim/monte_carlo.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(MonteCarlo, DeterministicForSeed)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.05);
+    MeshDecoder dec1(lat, ErrorType::Z), dec2(lat, ErrorType::Z);
+    LifetimeSimulator sim1(lat, model, dec1, nullptr, 99);
+    LifetimeSimulator sim2(lat, model, dec2, nullptr, 99);
+    StopRule rule{500, 500, 1u << 30};
+    const auto r1 = sim1.run(rule);
+    const auto r2 = sim2.run(rule);
+    EXPECT_EQ(r1.failures, r2.failures);
+    EXPECT_EQ(r1.trials, r2.trials);
+}
+
+TEST(MonteCarlo, ZeroNoiseZeroFailures)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.0);
+    MeshDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 1);
+    StopRule rule{200, 200, 1u << 30};
+    const auto res = sim.run(rule);
+    EXPECT_EQ(res.failures, 0u);
+    EXPECT_DOUBLE_EQ(res.logicalErrorRate, 0.0);
+}
+
+TEST(MonteCarlo, EarlyStopOnTargetFailures)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.2);
+    MeshDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 5);
+    StopRule rule{100, 100000, 50};
+    const auto res = sim.run(rule);
+    EXPECT_GE(res.failures, 50u);
+    EXPECT_LT(res.trials, 5000u);
+}
+
+TEST(MonteCarlo, CollectsMeshCycleStats)
+{
+    SurfaceLattice lat(5);
+    DephasingModel model(0.05);
+    MeshDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 7);
+    StopRule rule{300, 300, 1u << 30};
+    const auto res = sim.run(rule);
+    EXPECT_EQ(res.cycles.count(), res.trials);
+    EXPECT_GT(res.cycles.max(), 0.0);
+    EXPECT_GT(res.cycleHistogram.total(), 0u);
+}
+
+TEST(MonteCarlo, SoftwareDecoderHasNoCycleStats)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.05);
+    MwpmDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 7);
+    StopRule rule{100, 100, 1u << 30};
+    const auto res = sim.run(rule);
+    EXPECT_EQ(res.cycles.count(), 0u);
+}
+
+TEST(MonteCarlo, DepolarizingNeedsXDecoder)
+{
+    SurfaceLattice lat(3);
+    DepolarizingModel model(0.1);
+    MeshDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 7);
+    MonteCarloResult acc;
+    EXPECT_DEATH(
+        {
+            for (int i = 0; i < 50; ++i)
+                sim.runRound(acc);
+        },
+        "no X decoder");
+}
+
+TEST(MonteCarlo, DepolarizingWithBothDecoders)
+{
+    SurfaceLattice lat(3);
+    DepolarizingModel model(0.05);
+    MeshDecoder dz(lat, ErrorType::Z);
+    MeshDecoder dx(lat, ErrorType::X);
+    LifetimeSimulator sim(lat, model, dz, &dx, 7);
+    StopRule rule{300, 300, 1u << 30};
+    const auto res = sim.run(rule);
+    EXPECT_EQ(res.trials, 300u);
+}
+
+TEST(MonteCarlo, CircuitExtractionMatchesDirect)
+{
+    // Same seeds, same decoder: syndrome extraction through the
+    // stabilizer circuits must give identical Monte Carlo results.
+    SurfaceLattice lat(3);
+    DephasingModel model(0.08);
+    MeshDecoder d1(lat, ErrorType::Z), d2(lat, ErrorType::Z);
+    LifetimeSimulator direct(lat, model, d1, nullptr, 31, false);
+    LifetimeSimulator circuit(lat, model, d2, nullptr, 31, true);
+    StopRule rule{400, 400, 1u << 30};
+    EXPECT_EQ(direct.run(rule).failures, circuit.run(rule).failures);
+}
+
+TEST(MonteCarlo, WilsonIntervalBracketsRate)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.1);
+    MeshDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 3);
+    StopRule rule{1000, 1000, 1u << 30};
+    const auto res = sim.run(rule);
+    EXPECT_LE(res.ci.lo, res.logicalErrorRate);
+    EXPECT_GE(res.ci.hi, res.logicalErrorRate);
+}
+
+} // namespace
+} // namespace nisqpp

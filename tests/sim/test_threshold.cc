@@ -1,0 +1,89 @@
+/** @file Tests for threshold estimation on analytic curves. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/threshold.hh"
+
+namespace nisqpp {
+namespace {
+
+/** Build an analytic curve PL = c1 (p/pth)^(c2 d). */
+ErrorRateCurve
+analyticCurve(int d, double c1, double pth, double c2,
+              const std::vector<double> &ps)
+{
+    ErrorRateCurve curve;
+    curve.distance = d;
+    curve.p = ps;
+    for (double p : ps)
+        curve.pl.push_back(c1 * std::pow(p / pth, c2 * d));
+    return curve;
+}
+
+const std::vector<double> kPs{0.005, 0.01, 0.02, 0.03, 0.05, 0.08,
+                              0.12};
+
+TEST(Threshold, PseudoThresholdExactOnAnalyticCurve)
+{
+    // PL = p <=> c1 (p/pth)^(c2 d) = p; for c2 d = 1 the curve is
+    // linear in p: PL = (c1/pth) p, crossing only if c1 = pth... use
+    // c2 d = 2: PL = c1 p^2/pth^2 = p at p = pth^2/c1.
+    const double c1 = 0.1, pth = 0.05;
+    ErrorRateCurve curve = analyticCurve(1, c1, pth, 2.0, kPs);
+    const auto cross = pseudoThreshold(curve);
+    ASSERT_TRUE(cross.has_value());
+    EXPECT_NEAR(*cross, pth * pth / c1, 2e-3);
+}
+
+TEST(Threshold, PseudoThresholdAbsentWhenAlwaysWorse)
+{
+    // PL > p everywhere: no pseudo-threshold.
+    ErrorRateCurve curve;
+    curve.p = kPs;
+    for (double p : kPs)
+        curve.pl.push_back(std::min(1.0, 10 * p));
+    EXPECT_FALSE(pseudoThreshold(curve).has_value());
+}
+
+TEST(Threshold, CurveCrossingRecoversAccuracyThreshold)
+{
+    // Analytic family crossing exactly at pth.
+    const auto c5 = analyticCurve(5, 0.03, 0.05, 0.5, kPs);
+    const auto c7 = analyticCurve(7, 0.03, 0.05, 0.5, kPs);
+    const auto cross = curveCrossing(c5, c7);
+    ASSERT_TRUE(cross.has_value());
+    EXPECT_NEAR(*cross, 0.05, 5e-3);
+}
+
+TEST(Threshold, AccuracyThresholdMedianOfCrossings)
+{
+    std::vector<ErrorRateCurve> curves;
+    for (int d : {3, 5, 7, 9})
+        curves.push_back(analyticCurve(d, 0.03, 0.05, 0.5, kPs));
+    const auto pth = accuracyThreshold(curves);
+    ASSERT_TRUE(pth.has_value());
+    EXPECT_NEAR(*pth, 0.05, 5e-3);
+}
+
+TEST(Threshold, HandlesZeroSamples)
+{
+    ErrorRateCurve curve;
+    curve.p = {0.01, 0.02, 0.04};
+    curve.pl = {0.0, 0.0, 0.0};
+    EXPECT_FALSE(pseudoThreshold(curve).has_value());
+}
+
+TEST(Threshold, MismatchedCurvesRejected)
+{
+    ErrorRateCurve a, b;
+    a.p = {0.01, 0.02};
+    a.pl = {0.1, 0.2};
+    b.p = {0.01, 0.03};
+    b.pl = {0.1, 0.2};
+    EXPECT_DEATH(curveCrossing(a, b), "share p samples");
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,71 @@
+/** @file Tests for Pauli error state composition. */
+
+#include <gtest/gtest.h>
+
+#include "surface/error_state.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(ErrorState, InjectPaulis)
+{
+    SurfaceLattice lat(3);
+    ErrorState st(lat);
+    st.inject(0, Pauli::X);
+    st.inject(1, Pauli::Z);
+    st.inject(2, Pauli::Y);
+    EXPECT_EQ(st.at(0), Pauli::X);
+    EXPECT_EQ(st.at(1), Pauli::Z);
+    EXPECT_EQ(st.at(2), Pauli::Y);
+    EXPECT_EQ(st.at(3), Pauli::I);
+    EXPECT_EQ(st.weight(), 3);
+    EXPECT_EQ(st.weight(ErrorType::X), 2); // X and Y
+    EXPECT_EQ(st.weight(ErrorType::Z), 2); // Z and Y
+}
+
+TEST(ErrorState, InjectionComposes)
+{
+    SurfaceLattice lat(3);
+    ErrorState st(lat);
+    st.inject(0, Pauli::X);
+    st.inject(0, Pauli::Z);
+    EXPECT_EQ(st.at(0), Pauli::Y);
+    st.inject(0, Pauli::Y);
+    EXPECT_EQ(st.at(0), Pauli::I);
+}
+
+TEST(ErrorState, FlipIsInvolutive)
+{
+    SurfaceLattice lat(3);
+    ErrorState st(lat);
+    st.flip(ErrorType::Z, 5);
+    EXPECT_TRUE(st.has(ErrorType::Z, 5));
+    st.flip(ErrorType::Z, 5);
+    EXPECT_FALSE(st.has(ErrorType::Z, 5));
+}
+
+TEST(ErrorState, ComposeIsXor)
+{
+    SurfaceLattice lat(3);
+    ErrorState a(lat), b(lat);
+    a.inject(0, Pauli::X);
+    a.inject(1, Pauli::Z);
+    b.inject(1, Pauli::Z);
+    b.inject(2, Pauli::Y);
+    a.compose(b);
+    EXPECT_EQ(a.at(0), Pauli::X);
+    EXPECT_EQ(a.at(1), Pauli::I);
+    EXPECT_EQ(a.at(2), Pauli::Y);
+}
+
+TEST(ErrorState, ClearEmpties)
+{
+    SurfaceLattice lat(3);
+    ErrorState st(lat);
+    st.inject(0, Pauli::Y);
+    st.clear();
+    EXPECT_EQ(st.weight(), 0);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,153 @@
+/** @file Geometry tests for the planar surface code lattice. */
+
+#include <gtest/gtest.h>
+
+#include "surface/lattice.hh"
+
+namespace nisqpp {
+namespace {
+
+/** Parameterized over code distance. */
+class LatticeParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LatticeParam, QubitCounts)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    EXPECT_EQ(lat.gridSize(), 2 * d - 1);
+    EXPECT_EQ(lat.numData(), d * d + (d - 1) * (d - 1));
+    EXPECT_EQ(lat.numXAncilla(), d * (d - 1));
+    EXPECT_EQ(lat.numZAncilla(), d * (d - 1));
+    EXPECT_EQ(lat.numSites(),
+              lat.numData() + lat.numXAncilla() + lat.numZAncilla());
+}
+
+TEST_P(LatticeParam, RolePartition)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    for (int r = 0; r < lat.gridSize(); ++r) {
+        for (int c = 0; c < lat.gridSize(); ++c) {
+            const SiteRole role = lat.role({r, c});
+            if ((r + c) % 2 == 0)
+                EXPECT_EQ(role, SiteRole::Data);
+            else if (r % 2 == 0)
+                EXPECT_EQ(role, SiteRole::AncillaX);
+            else
+                EXPECT_EQ(role, SiteRole::AncillaZ);
+        }
+    }
+}
+
+TEST_P(LatticeParam, AncillaNeighborsAreAdjacentData)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    for (ErrorType type : {ErrorType::X, ErrorType::Z}) {
+        for (int a = 0; a < lat.numAncilla(type); ++a) {
+            const Coord ca = lat.ancillaCoord(type, a);
+            const auto &nbrs = lat.ancillaDataNeighbors(type, a);
+            EXPECT_GE(nbrs.size(), 2u);
+            EXPECT_LE(nbrs.size(), 4u);
+            for (int di : nbrs) {
+                const Coord cd = lat.dataCoord(di);
+                EXPECT_EQ(std::abs(ca.row - cd.row) +
+                              std::abs(ca.col - cd.col),
+                          1);
+            }
+        }
+    }
+}
+
+TEST_P(LatticeParam, DataAncillaConsistency)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    for (ErrorType type : {ErrorType::X, ErrorType::Z}) {
+        for (int q = 0; q < lat.numData(); ++q) {
+            const auto &ancs = lat.dataAncillaNeighbors(type, q);
+            EXPECT_GE(ancs.size(), 1u);
+            EXPECT_LE(ancs.size(), 2u);
+            for (int a : ancs) {
+                const auto &back = lat.ancillaDataNeighbors(type, a);
+                EXPECT_NE(std::find(back.begin(), back.end(), q),
+                          back.end());
+            }
+        }
+    }
+}
+
+TEST_P(LatticeParam, BoundaryDataCount)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    // Z-error chains terminate on west/east columns: d data qubits on
+    // each side (even rows).
+    int z_boundary = 0, x_boundary = 0;
+    for (int q = 0; q < lat.numData(); ++q) {
+        z_boundary += lat.touchesBoundary(ErrorType::Z, q);
+        x_boundary += lat.touchesBoundary(ErrorType::X, q);
+    }
+    EXPECT_EQ(z_boundary, 2 * d);
+    EXPECT_EQ(x_boundary, 2 * d);
+}
+
+TEST_P(LatticeParam, LogicalSupportsCrossTheLattice)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    EXPECT_EQ(static_cast<int>(
+                  lat.logicalDetectorSupport(ErrorType::Z).size()),
+              d);
+    EXPECT_EQ(static_cast<int>(
+                  lat.logicalDetectorSupport(ErrorType::X).size()),
+              d);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, LatticeParam,
+                         ::testing::Values(2, 3, 4, 5, 7, 9, 11));
+
+TEST(Lattice, PaperQubitCountAtD9)
+{
+    // The paper sizes the d=9 decoder mesh for 289 qubits.
+    SurfaceLattice lat(9);
+    EXPECT_EQ(lat.numSites(), 289);
+}
+
+TEST(Lattice, GraphDistances)
+{
+    SurfaceLattice lat(5);
+    const ErrorType t = ErrorType::Z;
+    const int a = lat.ancillaIndex(t, {0, 1});
+    const int b = lat.ancillaIndex(t, {0, 3});
+    const int c = lat.ancillaIndex(t, {2, 3});
+    EXPECT_EQ(lat.ancillaGraphDistance(t, a, b), 1);
+    EXPECT_EQ(lat.ancillaGraphDistance(t, a, c), 2);
+    EXPECT_EQ(lat.ancillaGraphDistance(t, a, a), 0);
+    // Symmetry.
+    EXPECT_EQ(lat.ancillaGraphDistance(t, c, a), 2);
+}
+
+TEST(Lattice, BoundaryDistances)
+{
+    SurfaceLattice lat(5); // grid 9x9, X ancillas at odd cols
+    const ErrorType t = ErrorType::Z;
+    EXPECT_EQ(lat.ancillaBoundaryDistance(t, lat.ancillaIndex(t, {0, 1})),
+              1);
+    EXPECT_EQ(lat.ancillaBoundaryDistance(t, lat.ancillaIndex(t, {0, 7})),
+              1);
+    EXPECT_EQ(lat.ancillaBoundaryDistance(t, lat.ancillaIndex(t, {4, 3})),
+              2);
+    EXPECT_EQ(lat.ancillaBoundaryDistance(t, lat.ancillaIndex(t, {4, 5})),
+              2);
+}
+
+TEST(Lattice, RejectsTinyDistance)
+{
+    EXPECT_DEATH(SurfaceLattice(1), "distance");
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,80 @@
+/** @file Tests for logical failure classification. */
+
+#include <gtest/gtest.h>
+
+#include "surface/logical.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(Logical, CleanStateIsNoFailure)
+{
+    SurfaceLattice lat(5);
+    ErrorState st(lat);
+    const FailureReport rep = classifyResidual(st, ErrorType::Z);
+    EXPECT_FALSE(rep.failed());
+}
+
+TEST(Logical, CrossingChainIsLogicalError)
+{
+    SurfaceLattice lat(5);
+    ErrorState st(lat);
+    for (int c = 0; c <= 8; c += 2)
+        st.inject(lat.dataIndex({0, c}), Pauli::Z);
+    const FailureReport rep = classifyResidual(st, ErrorType::Z);
+    EXPECT_FALSE(rep.syndromeNonzero);
+    EXPECT_TRUE(rep.logicalFlip);
+    EXPECT_TRUE(rep.failed());
+}
+
+TEST(Logical, StabilizerIsNotALogicalError)
+{
+    // A Z-error pattern equal to one Z-plaquette (the stabilizer family
+    // that generates trivial Z patterns) has trivial syndrome and
+    // trivial homology.
+    SurfaceLattice lat(5);
+    ErrorState st(lat);
+    for (int q : lat.ancillaDataNeighbors(
+             ErrorType::X, lat.ancillaIndex(ErrorType::X, {3, 2})))
+        st.inject(q, Pauli::Z);
+    const FailureReport rep = classifyResidual(st, ErrorType::Z);
+    EXPECT_FALSE(rep.syndromeNonzero);
+    EXPECT_FALSE(rep.logicalFlip);
+}
+
+TEST(Logical, DanglingErrorIsSyndromeFailure)
+{
+    SurfaceLattice lat(5);
+    ErrorState st(lat);
+    st.inject(lat.dataIndex({2, 2}), Pauli::Z);
+    const FailureReport rep = classifyResidual(st, ErrorType::Z);
+    EXPECT_TRUE(rep.syndromeNonzero);
+    EXPECT_TRUE(rep.failed());
+}
+
+TEST(Logical, CrossingParityDependsOnHomologyNotPath)
+{
+    // Two homologically equivalent crossings (different rows) both
+    // report a logical flip.
+    SurfaceLattice lat(3);
+    for (int row : {0, 2, 4}) {
+        ErrorState st(lat);
+        for (int c = 0; c <= 4; c += 2)
+            st.inject(lat.dataIndex({row, c}), Pauli::Z);
+        EXPECT_TRUE(crossingParity(st, ErrorType::Z)) << "row " << row;
+    }
+}
+
+TEST(Logical, XFamilySymmetric)
+{
+    SurfaceLattice lat(3);
+    ErrorState st(lat);
+    for (int r = 0; r <= 4; r += 2)
+        st.inject(lat.dataIndex({r, 0}), Pauli::X);
+    const FailureReport rep = classifyResidual(st, ErrorType::X);
+    EXPECT_FALSE(rep.syndromeNonzero);
+    EXPECT_TRUE(rep.logicalFlip);
+}
+
+} // namespace
+} // namespace nisqpp

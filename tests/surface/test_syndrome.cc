@@ -1,0 +1,115 @@
+/** @file Tests for syndrome extraction (paper Fig. 2 scenarios). */
+
+#include <gtest/gtest.h>
+
+#include "surface/syndrome.hh"
+
+namespace nisqpp {
+namespace {
+
+/** Parameterized over code distance. */
+class SyndromeParam : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SyndromeParam, SingleErrorFiresItsAncillas)
+{
+    // Every single data error of either type flips exactly its
+    // detecting ancillas (Fig. 2 (b)/(c)).
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    for (ErrorType type : {ErrorType::X, ErrorType::Z}) {
+        for (int q = 0; q < lat.numData(); ++q) {
+            ErrorState st(lat);
+            st.inject(q, type == ErrorType::Z ? Pauli::Z : Pauli::X);
+            const Syndrome syn = extractSyndrome(st, type);
+            const auto &expected = lat.dataAncillaNeighbors(type, q);
+            EXPECT_EQ(syn.weight(),
+                      static_cast<int>(expected.size()));
+            for (int a : expected)
+                EXPECT_TRUE(syn.hot(a));
+        }
+    }
+}
+
+TEST_P(SyndromeParam, ChainFiresOnlyEndpoints)
+{
+    // A horizontal Z chain fires only its endpoint ancillas (Fig. 4a).
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    ErrorState st(lat);
+    const int row = (d / 2) * 2; // any even row
+    for (int c = 2; c <= 2 * d - 4; c += 2)
+        st.inject(lat.dataIndex({row, c}), Pauli::Z);
+    const Syndrome syn = extractSyndrome(st, ErrorType::Z);
+    EXPECT_EQ(syn.weight(), 2);
+    EXPECT_TRUE(syn.hot(lat.ancillaIndex(ErrorType::Z, {row, 1})));
+    EXPECT_TRUE(
+        syn.hot(lat.ancillaIndex(ErrorType::Z, {row, 2 * d - 3})));
+}
+
+TEST_P(SyndromeParam, FullCrossingChainIsInvisible)
+{
+    // A full west-to-east chain produces no syndrome: the undetectable
+    // logical error of Section II-C2.
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    ErrorState st(lat);
+    const int row = 0;
+    for (int c = 0; c <= 2 * d - 2; c += 2)
+        st.inject(lat.dataIndex({row, c}), Pauli::Z);
+    EXPECT_EQ(extractSyndrome(st, ErrorType::Z).weight(), 0);
+}
+
+TEST_P(SyndromeParam, YErrorFiresBothFamilies)
+{
+    const int d = GetParam();
+    SurfaceLattice lat(d);
+    ErrorState st(lat);
+    const int q = lat.dataIndex({1, 1});
+    st.inject(q, Pauli::Y);
+    EXPECT_GT(extractSyndrome(st, ErrorType::Z).weight(), 0);
+    EXPECT_GT(extractSyndrome(st, ErrorType::X).weight(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SyndromeParam,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(Syndrome, DegenerateErrorPatternsShareSyndrome)
+{
+    // Fig. 4 (b)/(c): two distinct equal-weight patterns with the same
+    // endpoints generate identical syndromes.
+    SurfaceLattice lat(5);
+    ErrorState a(lat), b(lat);
+    // Pattern 1: east then south; pattern 2: south then east.
+    a.inject(lat.dataIndex({0, 2}), Pauli::Z);
+    a.inject(lat.dataIndex({1, 3}), Pauli::Z);
+    b.inject(lat.dataIndex({1, 1}), Pauli::Z);
+    b.inject(lat.dataIndex({2, 2}), Pauli::Z);
+    EXPECT_EQ(extractSyndrome(a, ErrorType::Z),
+              extractSyndrome(b, ErrorType::Z));
+    EXPECT_EQ(a.weight(), b.weight());
+}
+
+TEST(Syndrome, HotListMatchesBits)
+{
+    SurfaceLattice lat(3);
+    ErrorState st(lat);
+    st.inject(lat.dataIndex({1, 1}), Pauli::Z);
+    const Syndrome syn = extractSyndrome(st, ErrorType::Z);
+    const auto hot = syn.hotList();
+    EXPECT_EQ(static_cast<int>(hot.size()), syn.weight());
+    for (int a : hot)
+        EXPECT_TRUE(syn.hot(a));
+}
+
+TEST(Syndrome, SyndromeOfFlipsHelper)
+{
+    SurfaceLattice lat(3);
+    const Syndrome direct = syndromeOfFlips(
+        lat, ErrorType::Z, {lat.dataIndex({0, 0})});
+    EXPECT_EQ(direct.weight(), 1);
+}
+
+} // namespace
+} // namespace nisqpp

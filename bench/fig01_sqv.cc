@@ -1,54 +1,13 @@
 /**
- * @file Regenerates paper Fig. 1: the Simple Quantum Volume boost of a
- * 1,024-physical-qubit machine (p = 1e-5) when AQEC trades qubits for
- * fidelity at d = 3 and d = 5. Prints both the paper-quoted PL points
- * (exact reproduction of the quoted factors 3,402 / 11,163) and the
- * pure scaling-model evaluation with Table V coefficients.
+ * @file Thin wrapper over the 'fig01_sqv' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "backlog/sqv.hh"
-#include "common/table.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 1: SQV boost from approximate QEC ===\n"
-              << "machine: 1024 physical qubits, p = 1e-5, NISQ target "
-                 "SQV = 1e5\n\n";
-
-    SqvMachine machine;
-
-    TablePrinter table({"point", "d", "logical qubits", "PL/gate",
-                        "gates/qubit", "SQV", "boost vs NISQ"});
-
-    auto add_row = [&](const std::string &name, const SqvPoint &pt) {
-        table.addRow({name, std::to_string(pt.distance),
-                      std::to_string(pt.logicalQubits),
-                      TablePrinter::sci(pt.logicalErrorRate, 2),
-                      TablePrinter::sci(pt.gatesPerQubit, 2),
-                      TablePrinter::sci(pt.sqv, 2),
-                      TablePrinter::num(pt.boost, 5)});
-    };
-
-    // The paper's quoted design points (PL values from Section VIII).
-    ScalingModel paper_model; // unused when overriding PL
-    add_row("paper d=3", sqvPoint(machine, paper_model, 3, 2.94e-9));
-    add_row("paper d=5", sqvPoint(machine, paper_model, 5, 8.96e-10));
-
-    // Model-driven evaluation, PL = c1 (p/pth)^(c2 d) with the paper's
-    // Table V coefficients.
-    add_row("model d=3 (c2=0.650)",
-            sqvPoint(machine, ScalingModel{0.03, 0.05, 0.650}, 3));
-    add_row("model d=5 (c2=0.429)",
-            sqvPoint(machine, ScalingModel{0.03, 0.05, 0.429}, 5));
-
-    table.print(std::cout);
-
-    std::cout << "\npaper reports: boost 3,402 at d=3 and 11,163 at "
-                 "d=5 (Fig. 1, Section VIII)\n";
-    return 0;
+    return nisqpp::scenarioMain("fig01_sqv", argc, argv);
 }

@@ -1,60 +1,13 @@
 /**
- * @file Regenerates paper Fig. 5: the wall-clock staircase produced by
- * decode-backlog stalls at T gates when f = rgen/rproc > 1, and the
- * exponential growth of the per-gate stall.
+ * @file Thin wrapper over the 'fig05_backlog' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "backlog/backlog_sim.hh"
-#include "common/table.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 5: wall clock vs compute time under "
-                 "backlog ===\n"
-              << "(synthetic 10-T-gate program, syndrome cycle 400 ns, "
-                 "f = 1.5)\n\n";
-
-    QCircuit qc(2, "staircase");
-    for (int i = 0; i < 10; ++i) {
-        qc.h(0); // Clifford padding between synchronization points
-        qc.cnot(0, 1);
-        qc.t(0);
-    }
-
-    BacklogParams params;
-    params.syndromeCycleNs = 400.0;
-    params.decodeCycleNs = 600.0; // f = 1.5
-    const BacklogResult res = simulateBacklog(qc, params);
-
-    TablePrinter table({"T gate", "compute time (us)", "wall clock (us)",
-                        "stall (us)", "backlog (rounds)",
-                        "stall ratio"});
-    double prev_stall = 0;
-    for (const auto &ev : res.tGates) {
-        table.addRow(
-            {std::to_string(ev.index),
-             TablePrinter::num(ev.computeNs / 1e3, 4),
-             TablePrinter::num(ev.wallNs / 1e3, 4),
-             TablePrinter::num(ev.stallNs / 1e3, 4),
-             TablePrinter::num(ev.backlogRounds, 4),
-             prev_stall > 0
-                 ? TablePrinter::num(ev.stallNs / prev_stall, 3)
-                 : std::string("-")});
-        prev_stall = ev.stallNs;
-    }
-    table.print(std::cout);
-
-    std::cout << "\ntotal: compute "
-              << TablePrinter::num(res.computeNs / 1e3, 4)
-              << " us, wall " << TablePrinter::num(res.wallNs / 1e3, 4)
-              << " us, overhead "
-              << TablePrinter::num(res.overhead(), 4)
-              << "x; stall ratio converges to f = 1.5 (the f^k "
-                 "recurrence of Section III)\n";
-    return 0;
+    return nisqpp::scenarioMain("fig05_backlog", argc, argv);
 }

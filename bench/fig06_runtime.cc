@@ -1,48 +1,13 @@
 /**
- * @file Regenerates paper Fig. 6: running time of the five Table I
- * benchmarks as a function of the syndrome data processing ratio
- * f = rgen/rproc. Left of 1 the decoder keeps up; right of 1 the
- * T-gate backlog makes execution time exponential.
+ * @file Thin wrapper over the 'fig06_runtime' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "backlog/backlog_sim.hh"
-#include "circuits/benchmarks.hh"
-#include "circuits/decompose.hh"
-#include "common/table.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 6: running time vs decoding ratio ===\n"
-              << "(syndrome cycle 400 ns; entries are wall-clock "
-                 "seconds, log-scale in the paper)\n\n";
-
-    const std::vector<double> ratios{0.25, 0.5, 0.75, 1.0, 1.25,
-                                     1.5,  1.75, 2.0, 2.5, 3.0};
-
-    std::vector<std::string> header{"benchmark (T count)"};
-    for (double f : ratios)
-        header.push_back("f=" + TablePrinter::num(f, 3));
-    TablePrinter table(header);
-
-    for (const QCircuit &qc : tableOneBenchmarks()) {
-        std::vector<std::string> row{
-            qc.name() + " (" +
-            std::to_string(decomposedTCount(qc)) + ")"};
-        for (const auto &[f, wall_ns] :
-             runningTimeVsRatio(qc, 400.0, ratios))
-            row.push_back(TablePrinter::sci(wall_ns * 1e-9, 2));
-        table.addRow(row);
-    }
-    table.print(std::cout);
-
-    std::cout << "\nreference points (Section III): NN decoder ~800 ns "
-                 "-> f ~ 2; SFQ decoder <= 20 ns -> f << 1.\n"
-              << "paper's example: 686 T gates at f = 2 -> ~1e196 s; "
-                 "saturation caps our doubles at 1e250 ns.\n";
-    return 0;
+    return nisqpp::scenarioMain("fig06_runtime", argc, argv);
 }

@@ -1,59 +1,13 @@
 /**
- * @file Regenerates paper Fig. 10 (c): truncated probability densities
- * of the execution cycles required per decode, for each code distance
- * (window up to 20 cycles, as in the paper).
+ * @file Thin wrapper over the 'fig10_cycles' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/table.hh"
-#include "sim/monte_carlo.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 10 (c): cycles-to-solution densities ===\n"
-              << "(dephasing p = 5%, final design; probability mass "
-                 "per cycle count)\n\n";
-
-    const std::vector<int> distances{3, 5, 7, 9};
-    std::vector<Histogram> histograms;
-
-    StopRule rule{4000, 4000, 1u << 30};
-    rule = rule.scaledByEnv();
-    for (int d : distances) {
-        SurfaceLattice lat(d);
-        MeshDecoder dec(lat, ErrorType::Z);
-        DephasingModel model(0.05);
-        LifetimeSimulator sim(lat, model, dec, nullptr, 0xf16c + d);
-        const MonteCarloResult res = sim.run(rule);
-        histograms.push_back(res.cycleHistogram);
-    }
-
-    std::vector<std::string> header{"cycles"};
-    for (int d : distances)
-        header.push_back("d=" + std::to_string(d));
-    TablePrinter table(header);
-    for (int cyc = 0; cyc <= 20; ++cyc) {
-        std::vector<std::string> row{std::to_string(cyc)};
-        for (const auto &hist : histograms)
-            row.push_back(TablePrinter::num(hist.density(cyc), 3));
-        table.addRow(row);
-    }
-    table.print(std::cout);
-
-    std::cout << "\ntail beyond the 20-cycle window:\n";
-    for (std::size_t i = 0; i < distances.size(); ++i) {
-        double tail = 0;
-        for (std::size_t b = 21; b < histograms[i].numBins(); ++b)
-            tail += histograms[i].density(b);
-        std::cout << "  d=" << distances[i] << ": mass "
-                  << TablePrinter::num(tail, 3) << ", max "
-                  << histograms[i].lastNonzero() << " cycles\n";
-    }
-    std::cout << "paper: densities peak near 0, 5, 9, 14 cycles for "
-                 "d = 3, 5, 7, 9\n";
-    return 0;
+    return nisqpp::scenarioMain("fig10_cycles", argc, argv);
 }

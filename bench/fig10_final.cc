@@ -1,77 +1,13 @@
 /**
- * @file Regenerates paper Fig. 10 (a)/(b): logical vs physical error
- * rate for the final SFQ mesh decoder design across code distances
- * 3-9, including the zoomed window around the ~5% accuracy threshold,
- * plus the estimated pseudo-thresholds and accuracy threshold.
- * NISQPP_TRIALS (multiplier) raises statistical resolution.
+ * @file Thin wrapper over the 'fig10_final' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/table.hh"
-#include "sim/experiment.hh"
-
-namespace {
-
-void
-printSweep(const nisqpp::SweepResult &result,
-           const std::vector<double> &ps)
-{
-    using nisqpp::TablePrinter;
-    std::vector<std::string> header{"p (%)"};
-    for (const auto &curve : result.curves)
-        header.push_back("PL d=" + std::to_string(curve.distance));
-    header.emplace_back("physical");
-    TablePrinter table(header);
-    for (std::size_t i = 0; i < ps.size(); ++i) {
-        std::vector<std::string> row{TablePrinter::num(100 * ps[i], 3)};
-        for (const auto &curve : result.curves)
-            row.push_back(TablePrinter::num(100 * curve.pl[i], 3));
-        row.push_back(TablePrinter::num(100 * ps[i], 3));
-        table.addRow(row);
-    }
-    table.print(std::cout);
-}
-
-} // namespace
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 10 (a): final design error rate scaling "
-                 "===\n(dephasing channel, lifetime protocol)\n\n";
-
-    SweepConfig config;
-    config.distances = {3, 5, 7, 9};
-    config.physicalRates = SweepConfig::logSpaced(0.01, 0.12, 10);
-    config.lifetimeMode = true;
-    config.stopRule = {4000, 4000, 1u << 30};
-
-    const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
-    const SweepResult result = sweepLogicalError(config, factory);
-    printSweep(result, config.physicalRates);
-
-    // Threshold metrics (Section VII).
-    std::cout << "\npseudo-thresholds (PL = p):\n";
-    for (const auto &curve : result.curves) {
-        const auto pseudo = pseudoThreshold(curve);
-        std::cout << "  d=" << curve.distance << ": "
-                  << (pseudo ? TablePrinter::num(100 * *pseudo, 3) + "%"
-                             : std::string("not crossed in range"))
-                  << "\n";
-    }
-    if (const auto pth = accuracyThreshold(result.curves))
-        std::cout << "accuracy threshold (curve crossings): "
-                  << TablePrinter::num(100 * *pth, 3) << "%\n";
-    std::cout << "paper: accuracy threshold ~5%, pseudo-thresholds "
-                 "~3.5%-5%, anomalous d=3 (boundary-dominated)\n";
-
-    std::cout << "\n=== Figure 10 (b): zoom near threshold ===\n\n";
-    SweepConfig zoom = config;
-    zoom.physicalRates = SweepConfig::logSpaced(0.045, 0.062, 6);
-    zoom.stopRule = {4000, 4000, 1u << 30};
-    printSweep(sweepLogicalError(zoom, factory), zoom.physicalRates);
-    return 0;
+    return nisqpp::scenarioMain("fig10_final", argc, argv);
 }

@@ -1,54 +1,13 @@
 /**
- * @file Regenerates paper Fig. 10 top row: logical error rate of each
- * incremental design step (baseline, +reset, +reset+boundary) under the
- * pure dephasing channel and the lifetime Monte Carlo protocol.
- * NISQPP_TRIALS (multiplier) raises statistical resolution.
+ * @file Thin wrapper over the 'fig10_variants' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/table.hh"
-#include "sim/experiment.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 10 (top row): incremental design steps "
-                 "===\n(logical error rate, dephasing channel, "
-                 "lifetime protocol)\n";
-
-    SweepConfig config;
-    config.distances = {3, 5, 7, 9};
-    config.physicalRates = SweepConfig::logSpaced(0.01, 0.12, 8);
-    config.lifetimeMode = true;
-    config.stopRule = {2000, 2000, 1u << 30};
-
-    for (const MeshConfig &variant :
-         {MeshConfig::baseline(), MeshConfig::withReset(),
-          MeshConfig::withResetAndBoundary()}) {
-        std::cout << "\n--- design: " << variant.label() << " ---\n";
-        const SweepResult result =
-            sweepLogicalError(config, meshDecoderFactory(variant));
-
-        std::vector<std::string> header{"p (%)"};
-        for (const auto &curve : result.curves)
-            header.push_back("PL d=" + std::to_string(curve.distance));
-        TablePrinter table(header);
-        for (std::size_t i = 0; i < config.physicalRates.size(); ++i) {
-            std::vector<std::string> row{
-                TablePrinter::num(100 * config.physicalRates[i], 3)};
-            for (const auto &curve : result.curves)
-                row.push_back(TablePrinter::num(100 * curve.pl[i], 3));
-            table.addRow(row);
-        }
-        table.print(std::cout);
-    }
-
-    std::cout << "\npaper: baseline shows no threshold behavior; "
-                 "resets and boundaries progressively restore error "
-                 "suppression (our unarbitrated boundary variant "
-                 "trades differently — see EXPERIMENTS.md).\n";
-    return 0;
+    return nisqpp::scenarioMain("fig10_variants", argc, argv);
 }

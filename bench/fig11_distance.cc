@@ -1,64 +1,13 @@
 /**
- * @file Regenerates paper Fig. 11: the code distance each decoder needs
- * to run a 100-T-gate algorithm, as a function of the physical error
- * rate, once the decoding backlog is accounted for. Offline decoders
- * (f > 1) pay the f^k gate-equivalent inflation; the online SFQ
- * decoder does not.
+ * @file Thin wrapper over the 'fig11_distance' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "backlog/distance_model.hh"
-#include "common/table.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Figure 11: required code distance (100 T gates) "
-                 "===\n(syndrome cycle 400 ns; '-' = no distance up to "
-                 "2001 suffices)\n\n";
-
-    const std::vector<DecoderProfile> profiles{
-        DecoderProfile::sfqDecoder(), DecoderProfile::mwpm(),
-        DecoderProfile::neuralNet(), DecoderProfile::unionFind(),
-        DecoderProfile::mwpmNoBacklog()};
-
-    const std::vector<double> rates{1e-5, 3e-5, 1e-4, 3e-4, 1e-3,
-                                    3e-3, 1e-2, 3e-2};
-
-    std::vector<std::string> header{"physical error rate"};
-    for (const auto &prof : profiles)
-        header.push_back(prof.name);
-    TablePrinter table(header);
-
-    for (double p : rates) {
-        std::vector<std::string> row{TablePrinter::sci(p, 1)};
-        for (const auto &prof : profiles) {
-            DistanceQuery query;
-            query.physicalErrorRate = p;
-            const auto d = requiredDistance(prof, query);
-            row.push_back(d ? std::to_string(*d) : std::string("-"));
-        }
-        table.addRow(row);
-    }
-    table.print(std::cout);
-
-    // The headline ratio at a representative operating point.
-    DistanceQuery query;
-    query.physicalErrorRate = 1e-3;
-    const auto d_sfq =
-        requiredDistance(DecoderProfile::sfqDecoder(), query);
-    const auto d_mwpm = requiredDistance(DecoderProfile::mwpm(), query);
-    if (d_sfq && d_mwpm)
-        std::cout << "\nat p = 1e-3: offline MWPM needs "
-                  << *d_mwpm << " vs SFQ " << *d_sfq << " ("
-                  << TablePrinter::num(
-                         static_cast<double>(*d_mwpm) / *d_sfq, 3)
-                  << "x) — the paper reports ~10x smaller distances "
-                     "for the online decoder\n";
-    std::cout << "profile parameters are documented in "
-                 "EXPERIMENTS.md\n";
-    return 0;
+    return nisqpp::scenarioMain("fig11_distance", argc, argv);
 }

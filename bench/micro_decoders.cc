@@ -1,105 +1,13 @@
 /**
- * @file google-benchmark microbenchmarks: host-side decode throughput
- * of the mesh decoder (cycle-level simulation) against the software
- * baselines, plus the mesh's simulated-hardware latency counters.
+ * @file Thin wrapper over the 'micro_decoders' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <benchmark/benchmark.h>
+#include "engine/scenario.hh"
 
-#include "common/rng.hh"
-#include "decoders/greedy_decoder.hh"
-#include "decoders/mwpm_decoder.hh"
-#include "decoders/union_find_decoder.hh"
-#include "core/mesh_decoder.hh"
-#include "surface/error_model.hh"
-
-namespace {
-
-using namespace nisqpp;
-
-/** Pre-sampled syndrome workload shared across decoder benchmarks. */
-std::vector<Syndrome>
-workload(const SurfaceLattice &lat, double p, int count)
+int
+main(int argc, char **argv)
 {
-    DephasingModel model(p);
-    Rng rng(0xbe4c);
-    std::vector<Syndrome> syndromes;
-    syndromes.reserve(count);
-    for (int i = 0; i < count; ++i) {
-        ErrorState st(lat);
-        model.sample(rng, st);
-        syndromes.push_back(extractSyndrome(st, ErrorType::Z));
-    }
-    return syndromes;
+    return nisqpp::scenarioMain("micro_decoders", argc, argv);
 }
-
-template <typename DecoderT>
-void
-decodeBench(benchmark::State &state)
-{
-    const int d = static_cast<int>(state.range(0));
-    SurfaceLattice lat(d);
-    DecoderT dec(lat, ErrorType::Z);
-    const auto syndromes = workload(lat, 0.05, 256);
-    std::size_t i = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(
-            dec.decode(syndromes[i++ % syndromes.size()]));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-
-void
-BM_MeshDecoder(benchmark::State &state)
-{
-    decodeBench<MeshDecoder>(state);
-}
-
-void
-BM_Mwpm(benchmark::State &state)
-{
-    decodeBench<MwpmDecoder>(state);
-}
-
-void
-BM_UnionFind(benchmark::State &state)
-{
-    decodeBench<UnionFindDecoder>(state);
-}
-
-void
-BM_Greedy(benchmark::State &state)
-{
-    decodeBench<GreedyDecoder>(state);
-}
-
-/** Simulated hardware latency (mesh cycles), not host time. */
-void
-BM_MeshSimulatedNs(benchmark::State &state)
-{
-    const int d = static_cast<int>(state.range(0));
-    SurfaceLattice lat(d);
-    MeshDecoder dec(lat, ErrorType::Z);
-    const auto syndromes = workload(lat, 0.05, 256);
-    std::size_t i = 0;
-    double total_ns = 0;
-    std::size_t n = 0;
-    for (auto _ : state) {
-        dec.decode(syndromes[i++ % syndromes.size()]);
-        total_ns += dec.lastStats().nanoseconds(
-            dec.config().cyclePeriodPs);
-        ++n;
-    }
-    state.counters["sim_ns_per_decode"] =
-        n ? total_ns / static_cast<double>(n) : 0.0;
-}
-
-} // namespace
-
-BENCHMARK(BM_MeshDecoder)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
-BENCHMARK(BM_Mwpm)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
-BENCHMARK(BM_UnionFind)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
-BENCHMARK(BM_Greedy)->Arg(3)->Arg(5)->Arg(7)->Arg(9);
-BENCHMARK(BM_MeshSimulatedNs)->Arg(3)->Arg(9);
-
-BENCHMARK_MAIN();

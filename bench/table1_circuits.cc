@@ -1,38 +1,13 @@
 /**
- * @file Regenerates paper Table I: characteristics of the simulated
- * benchmarks. Qubit and T counts match the paper exactly; "total gates"
- * is shown both under our textbook 15-gate Toffoli expansion and the
- * 17-gate budget the paper's totals imply (see EXPERIMENTS.md).
+ * @file Thin wrapper over the 'table1_circuits' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "circuits/benchmarks.hh"
-#include "circuits/decompose.hh"
-#include "common/table.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Table I: benchmark characteristics ===\n\n";
-
-    TablePrinter table({"benchmark", "# qubits", "# total gates (15g)",
-                        "# total gates (17g, paper)", "# T gates",
-                        "depth"});
-    for (const QCircuit &qc : tableOneBenchmarks()) {
-        table.addRow(
-            {qc.name(), std::to_string(qc.numQubits()),
-             std::to_string(decomposedGateCount(qc)),
-             std::to_string(
-                 decomposedGateCount(qc, kToffoliGatesPaper)),
-             std::to_string(decomposedTCount(qc)),
-             std::to_string(decomposeToffoli(qc).depth())});
-    }
-    table.print(std::cout);
-
-    std::cout << "\npaper Table I totals: takahashi 740, barenco 1224, "
-                 "cnu 1156, cnx 629, cuccaro 821 (17-gate Toffoli)\n";
-    return 0;
+    return nisqpp::scenarioMain("table1_circuits", argc, argv);
 }

@@ -1,33 +1,13 @@
 /**
- * @file Regenerates paper Table II: the ERSFQ cell library used for
- * synthesizing the decoder into SFQ hardware.
+ * @file Thin wrapper over the 'table2_cells' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/table.hh"
-#include "sfq/cell_library.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Table II: ERSFQ cell library ===\n\n";
-
-    TablePrinter table(
-        {"cell", "area (um^2)", "JJ count", "delay (ps)", "power (uW)"});
-    for (CellKind kind : {CellKind::And2, CellKind::Or2, CellKind::Xor2,
-                          CellKind::Not, CellKind::DroDff}) {
-        const CellInfo &info = cellInfo(kind);
-        table.addRow({info.name, TablePrinter::num(info.areaUm2, 6),
-                      std::to_string(info.jjCount),
-                      TablePrinter::num(info.delayPs, 3),
-                      TablePrinter::num(info.powerUw, 3)});
-    }
-    table.print(std::cout);
-    std::cout << "\n(areas/JJ/delays are the paper's Table II values; "
-                 "per-cell power calibrated to Table III's 0.026 uW "
-                 "per logic gate)\n";
-    return 0;
+    return nisqpp::scenarioMain("table2_cells", argc, argv);
 }

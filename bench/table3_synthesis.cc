@@ -1,57 +1,13 @@
 /**
- * @file Regenerates paper Table III: synthesis results for the SFQ
- * decoder module and its subcircuits — logical depth, latency, area and
- * power from the Table II cell library after full path balancing.
+ * @file Thin wrapper over the 'table3_synthesis' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/table.hh"
-#include "sfq/decoder_circuits.hh"
-#include "sfq/synthesis.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Table III: SFQ synthesis results ===\n\n";
-
-    TablePrinter table({"circuit", "logical depth", "latency cell (ps)",
-                        "latency clocked (ps)", "area (um^2)",
-                        "power (uW)", "gates", "DFFs", "JJs"});
-
-    auto add = [&](const SynthesisReport &rep) {
-        table.addRow({rep.name, std::to_string(rep.logicalDepth),
-                      TablePrinter::num(rep.latencyCellPs, 4),
-                      TablePrinter::num(rep.latencyClockedPs, 5),
-                      TablePrinter::num(rep.areaUm2, 7),
-                      TablePrinter::num(rep.powerUw, 4),
-                      std::to_string(rep.gateCount),
-                      std::to_string(rep.dffCount),
-                      std::to_string(rep.jjCount)});
-    };
-
-    add(synthesize(singleGateNetlist(CellKind::And2)));
-    add(synthesize(singleGateNetlist(CellKind::Or2)));
-    add(synthesize(orNNetlist(7)));
-    add(synthesize(singleGateNetlist(CellKind::Not)));
-    add(synthesize(pairGrantSubcircuit()));
-    add(synthesize(pairSubcircuit()));
-    add(synthesize(growPairReqSubcircuit()));
-    add(synthesize(resetKeeperSubcircuit()));
-    add(synthesize(fullDecoderModule()));
-    table.print(std::cout);
-
-    const SynthesisReport full = synthesize(fullDecoderModule());
-    const int d9_modules = 17 * 17; // one module per qubit at d=9
-    std::cout << "\nfull mesh at d=9 (289 modules): area "
-              << TablePrinter::num(full.areaUm2 * d9_modules / 1e6, 4)
-              << " mm^2, power "
-              << TablePrinter::num(full.powerUw * d9_modules / 1e3, 4)
-              << " mW\n"
-              << "paper Table III: full circuit depth 6, 162.72 ps, "
-                 "1.2793e6 um^2, 13.08 uW; d=9 mesh 369.72 mm^2 / "
-                 "3.78 mW\n";
-    return 0;
+    return nisqpp::scenarioMain("table3_synthesis", argc, argv);
 }

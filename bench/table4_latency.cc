@@ -1,65 +1,13 @@
 /**
- * @file Regenerates paper Table IV: decoder execution time in
- * nanoseconds (max / average / standard deviation) per code distance,
- * across all simulated error rates, at the paper's 162.72 ps mesh
- * cycle. Also reports the max-cycle linear scaling the paper quotes
- * (~15.75 coefficient).
+ * @file Thin wrapper over the 'table4_latency' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/fit.hh"
-#include "common/table.hh"
-#include "sim/monte_carlo.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Table IV: decoder execution time (ns) ===\n"
-              << "(dephasing, p swept 1%-12%, final design)\n\n";
-
-    const std::vector<int> distances{3, 5, 7, 9};
-    const std::vector<double> rates{0.01, 0.02, 0.04, 0.06, 0.08,
-                                    0.10, 0.12};
-    const double period_ps = MeshConfig{}.cyclePeriodPs;
-
-    TablePrinter table({"code distance", "max (ns)", "average (ns)",
-                        "std dev (ns)", "max (cycles)"});
-    std::vector<double> ds, max_cycles;
-
-    StopRule rule{1500, 1500, 1u << 30};
-    rule = rule.scaledByEnv();
-    for (int d : distances) {
-        SurfaceLattice lat(d);
-        MeshDecoder dec(lat, ErrorType::Z);
-        RunningStats stats;
-        for (double p : rates) {
-            DephasingModel model(p);
-            LifetimeSimulator sim(lat, model, dec, nullptr,
-                                  0xab1e + d);
-            const MonteCarloResult res = sim.run(rule);
-            stats.merge(res.cycles);
-        }
-        const double to_ns = period_ps * 1e-3;
-        table.addRow({std::to_string(d),
-                      TablePrinter::num(stats.max() * to_ns, 3),
-                      TablePrinter::num(stats.mean() * to_ns, 3),
-                      TablePrinter::num(stats.stddev() * to_ns, 3),
-                      TablePrinter::num(stats.max(), 4)});
-        ds.push_back(d);
-        max_cycles.push_back(stats.max());
-    }
-    table.print(std::cout);
-
-    const LinearFit fit = fitLinear(ds, max_cycles);
-    std::cout << "\nmax-cycles linear fit: " << TablePrinter::num(
-                     fit.slope, 4)
-              << " * d + " << TablePrinter::num(fit.intercept, 4)
-              << " (paper: leading coefficient ~15.75)\n"
-              << "paper Table IV (ns): d=3 3.74/0.28/0.58, d=5 "
-                 "9.28/0.72/1.09, d=7 14.2/2.00/1.99, d=9 "
-                 "19.2/3.81/3.11; max <= ~20 ns (online, f < 1)\n";
-    return 0;
+    return nisqpp::scenarioMain("table4_latency", argc, argv);
 }

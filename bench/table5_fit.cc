@@ -1,44 +1,13 @@
 /**
- * @file Regenerates paper Table V: fitted c2 coefficients of the
- * scaling model PL ~= c1 (p/pth)^(c2 d) per code distance, using
- * below-threshold samples of the final design (the effective-distance
- * / approximation factor of the decoder).
+ * @file Thin wrapper over the 'table5_fit' scenario: dispatches through the
+ * parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
  */
 
-#include <iostream>
-
-#include "common/table.hh"
-#include "sim/experiment.hh"
+#include "engine/scenario.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
-    using namespace nisqpp;
-
-    std::cout << "=== Table V: empirical scaling-model fit ===\n"
-              << "(PL ~= c1 (p/pth)^(c2 d), pth = 5%, dephasing, "
-                 "lifetime protocol)\n\n";
-
-    SweepConfig config;
-    config.distances = {3, 5, 7, 9};
-    config.physicalRates = {0.01, 0.015, 0.02, 0.03, 0.04};
-    config.lifetimeMode = true;
-    config.stopRule = {6000, 6000, 1u << 30};
-
-    const SweepResult result = sweepLogicalError(
-        config, meshDecoderFactory(MeshConfig::finalDesign()));
-    const auto fits = fitSweep(result, 0.05, 0.045);
-
-    TablePrinter table({"code distance", "c2", "c1", "fit R^2"});
-    for (std::size_t i = 0; i < fits.size(); ++i)
-        table.addRow({std::to_string(result.curves[i].distance),
-                      TablePrinter::num(fits[i].c2, 3),
-                      TablePrinter::num(fits[i].c1, 3),
-                      TablePrinter::num(fits[i].r2, 3)});
-    table.print(std::cout);
-
-    std::cout << "\npaper Table V: c2 = 0.650, 0.429, 0.306, 0.323 for "
-                 "d = 3, 5, 7, 9 (c2 < 1 is the accuracy price of the "
-                 "approximate decoder)\n";
-    return 0;
+    return nisqpp::scenarioMain("table5_fit", argc, argv);
 }

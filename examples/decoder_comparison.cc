@@ -2,54 +2,67 @@
  * @file Decoder shoot-out: accuracy of the SFQ mesh decoder against the
  * exact MWPM, union-find and software-greedy baselines on identical
  * error streams, with the mesh's simulated hardware latency alongside.
+ * Each family runs through the parallel engine from the same master
+ * seed, so every decoder sees exactly the same shard error streams.
+ *
+ * usage: decoder_comparison [threads]
  */
 
+#include <cstdlib>
 #include <iostream>
-#include <memory>
+#include <string>
 #include <vector>
 
 #include "common/table.hh"
-#include "decoders/greedy_decoder.hh"
-#include "decoders/mwpm_decoder.hh"
-#include "decoders/union_find_decoder.hh"
-#include "sim/monte_carlo.hh"
+#include "sim/experiment.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace nisqpp;
 
     const int d = 5;
     const double p = 0.03;
-    const int rounds = 5000;
+    const std::size_t rounds = 5000;
+    const int threads = argc > 1 ? std::atoi(argv[1]) : 1;
     SurfaceLattice lattice(d);
 
     std::cout << "decoder comparison: d=" << d << ", dephasing p=" << p
-              << ", " << rounds << " lifetime cycles each\n\n";
+              << ", " << rounds << " lifetime cycles each, " << threads
+              << " thread(s)\n\n";
 
-    std::vector<std::unique_ptr<Decoder>> decoders;
-    decoders.push_back(std::make_unique<MeshDecoder>(
-        lattice, ErrorType::Z, MeshConfig::finalDesign()));
-    decoders.push_back(
-        std::make_unique<MwpmDecoder>(lattice, ErrorType::Z));
-    decoders.push_back(
-        std::make_unique<UnionFindDecoder>(lattice, ErrorType::Z));
-    decoders.push_back(
-        std::make_unique<GreedyDecoder>(lattice, ErrorType::Z));
+    struct Family
+    {
+        std::string label;
+        DecoderFactory factory;
+    };
+    const std::vector<Family> families{
+        {"mesh", meshDecoderFactory(MeshConfig::finalDesign())},
+        {"mwpm", mwpmDecoderFactory()},
+        {"union_find", unionFindDecoderFactory()},
+        {"greedy", greedyDecoderFactory()},
+    };
+
+    EngineOptions options;
+    options.threads = threads;
+    Engine engine(options);
 
     TablePrinter table({"decoder", "logical errors", "PL",
                         "avg decode (sim ns)", "max decode (sim ns)"});
-    DephasingModel model(p);
-    for (auto &dec : decoders) {
-        LifetimeSimulator sim(lattice, model, *dec, nullptr, 777);
-        sim.setLifetimeMode(true);
-        StopRule rule{static_cast<std::size_t>(rounds),
-                      static_cast<std::size_t>(rounds), 1u << 30};
-        const MonteCarloResult res = sim.run(rule);
+    for (const Family &family : families) {
+        CellSpec cell;
+        cell.lattice = &lattice;
+        cell.physicalRate = p;
+        cell.lifetimeMode = true;
+        cell.rule = StopRule{rounds, rounds, 1u << 30}.scaledByEnv();
+        cell.seed = 777; // same stream for every decoder family
+        cell.factory = &family.factory;
+        const MonteCarloResult res = engine.runCell(cell);
+
         const bool mesh = res.cycles.count() > 0;
         const double period = MeshConfig{}.cyclePeriodPs * 1e-3;
         table.addRow(
-            {dec->name(), std::to_string(res.failures),
+            {family.label, std::to_string(res.failures),
              TablePrinter::num(res.logicalErrorRate, 3),
              mesh ? TablePrinter::num(res.cycles.mean() * period, 3)
                   : std::string("offline"),

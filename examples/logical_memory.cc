@@ -1,15 +1,17 @@
 /**
  * @file Logical memory experiment: run the paper's lifetime Monte
- * Carlo protocol on one lattice and report the logical error rate and
- * the decoder's real-time execution statistics — the workload behind
- * Fig. 10 and Table IV.
+ * Carlo protocol on one lattice through the parallel engine and report
+ * the logical error rate and the decoder's real-time execution
+ * statistics — the workload behind Fig. 10 and Table IV.
+ *
+ * usage: logical_memory [d] [p] [rounds] [threads]
  */
 
 #include <cstdlib>
 #include <iostream>
 
 #include "common/table.hh"
-#include "sim/monte_carlo.hh"
+#include "sim/experiment.hh"
 
 int
 main(int argc, char **argv)
@@ -19,20 +21,33 @@ main(int argc, char **argv)
     const int d = argc > 1 ? std::atoi(argv[1]) : 7;
     const double p = argc > 2 ? std::atof(argv[2]) : 0.02;
     const int rounds = argc > 3 ? std::atoi(argv[3]) : 20000;
+    const int threads = argc > 4 ? std::atoi(argv[4]) : 1;
 
     std::cout << "logical memory: d=" << d << ", dephasing p=" << p
-              << ", " << rounds << " syndrome cycles\n";
+              << ", " << rounds << " syndrome cycles, " << threads
+              << " thread(s)\n"
+              << "(engine shards the run into independent memory "
+                 "segments of 512 cycles)\n";
 
     SurfaceLattice lattice(d);
-    MeshDecoder decoder(lattice, ErrorType::Z);
-    DephasingModel model(p);
-    LifetimeSimulator sim(lattice, model, decoder, nullptr, 2026);
-    sim.setLifetimeMode(true);
+    const DecoderFactory factory =
+        meshDecoderFactory(MeshConfig::finalDesign());
 
-    StopRule rule;
-    rule.minTrials = rule.maxTrials = static_cast<std::size_t>(rounds);
-    rule.targetFailures = 1u << 30;
-    const MonteCarloResult res = sim.run(rule);
+    EngineOptions options;
+    options.threads = threads;
+    Engine engine(options);
+
+    CellSpec cell;
+    cell.lattice = &lattice;
+    cell.physicalRate = p;
+    cell.lifetimeMode = true;
+    cell.rule.minTrials = cell.rule.maxTrials =
+        static_cast<std::size_t>(rounds);
+    cell.rule.targetFailures = 1u << 30;
+    cell.rule = cell.rule.scaledByEnv();
+    cell.seed = 2026;
+    cell.factory = &factory;
+    const MonteCarloResult res = engine.runCell(cell);
 
     std::cout << "logical errors: " << res.failures << " / "
               << res.trials
@@ -40,7 +55,7 @@ main(int argc, char **argv)
               << TablePrinter::num(res.ci.lo, 3) << ", "
               << TablePrinter::num(res.ci.hi, 3) << "])\n";
 
-    const double period = decoder.config().cyclePeriodPs;
+    const double period = MeshConfig{}.cyclePeriodPs;
     std::cout << "decoder timing: avg "
               << TablePrinter::num(res.cycles.mean() * period * 1e-3, 3)
               << " ns, max "

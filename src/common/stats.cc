@@ -71,6 +71,24 @@ Histogram::add(std::size_t value)
     ++total_;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.total_ == 0 && other.overflow_ == 0)
+        return;
+    if (total_ == 0 && overflow_ == 0 &&
+        bins_.size() != other.bins_.size()) {
+        *this = other;
+        return;
+    }
+    require(bins_.size() == other.bins_.size(),
+            "Histogram::merge: incompatible binning");
+    for (std::size_t i = 0; i < bins_.size(); ++i)
+        bins_[i] += other.bins_[i];
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double
 Histogram::density(std::size_t i) const
 {

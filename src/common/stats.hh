@@ -57,6 +57,14 @@ class Histogram
 
     void add(std::size_t value);
 
+    /**
+     * Merge another histogram into this one (parallel reduction).
+     * Binnings must match; as a convenience an empty accumulator
+     * adopts the binning of the incoming histogram so
+     * default-constructed results can absorb sized shard results.
+     */
+    void merge(const Histogram &other);
+
     std::size_t total() const { return total_; }
     std::size_t bin(std::size_t i) const { return bins_.at(i); }
     std::size_t numBins() const { return bins_.size(); }

@@ -80,4 +80,36 @@ TablePrinter::printCsv(std::ostream &os) const
         emit(row);
 }
 
+void
+TablePrinter::printJson(std::ostream &os) const
+{
+    auto quote = [&](const std::string &s) {
+        os << '"';
+        for (char ch : s) {
+            if (ch == '"' || ch == '\\')
+                os << '\\';
+            os << ch;
+        }
+        os << '"';
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        os << '[';
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ',';
+            quote(row[c]);
+        }
+        os << ']';
+    };
+    os << "{\"header\":";
+    emit(header_);
+    os << ",\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r)
+            os << ',';
+        emit(rows_[r]);
+    }
+    os << "]}";
+}
+
 } // namespace nisqpp

@@ -38,6 +38,12 @@ class TablePrinter
     /** Render as comma-separated values (for plotting scripts). */
     void printCsv(std::ostream &os) const;
 
+    /**
+     * Render as a JSON object {"header": [...], "rows": [[...]]};
+     * cells stay strings so formatting matches the other renderers.
+     */
+    void printJson(std::ostream &os) const;
+
   private:
     std::vector<std::string> header_;
     std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,290 @@
+#include "engine/scenario.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/logging.hh"
+#include "engine/scenarios.hh"
+
+namespace nisqpp {
+
+ScenarioContext::ScenarioContext(const RunOptions &options,
+                                 std::ostream &os)
+    : options_(options), os_(os)
+{
+    if (options_.format == OutputFormat::Json)
+        os_ << "{\"tables\":[";
+}
+
+Engine &
+ScenarioContext::engine()
+{
+    if (!engine_) {
+        EngineOptions engineOptions;
+        engineOptions.threads = options_.threads;
+        engineOptions.shardTrials = options_.shardTrials;
+        engine_ = std::make_unique<Engine>(engineOptions);
+    }
+    return *engine_;
+}
+
+std::uint64_t
+ScenarioContext::seed(std::uint64_t fallback) const
+{
+    return options_.seedSet ? options_.seed : fallback;
+}
+
+StopRule
+ScenarioContext::scaled(const StopRule &rule) const
+{
+    return rule.scaled(options_.trialsScale).scaledByEnv();
+}
+
+void
+ScenarioContext::note(const std::string &line)
+{
+    if (options_.format == OutputFormat::Table)
+        os_ << line << '\n';
+}
+
+void
+ScenarioContext::table(const std::string &id, const TablePrinter &table)
+{
+    switch (options_.format) {
+      case OutputFormat::Table:
+        table.print(os_);
+        break;
+      case OutputFormat::Csv:
+        os_ << "# " << id << '\n';
+        table.printCsv(os_);
+        break;
+      case OutputFormat::Json:
+        if (!firstTable_)
+            os_ << ',';
+        firstTable_ = false;
+        os_ << "{\"id\":\"" << id << "\",\"table\":";
+        table.printJson(os_);
+        os_ << '}';
+        break;
+    }
+}
+
+void
+ScenarioContext::finish()
+{
+    if (options_.format == OutputFormat::Json)
+        os_ << "]}\n";
+}
+
+const std::vector<Scenario> &
+scenarioRegistry()
+{
+    using namespace scenarios;
+    static const std::vector<Scenario> registry{
+        {"fig01_sqv", "Fig. 1: SQV boost from approximate QEC",
+         fig01Sqv},
+        {"fig05_backlog",
+         "Fig. 5: wall clock vs compute time under decode backlog",
+         fig05Backlog},
+        {"fig06_runtime",
+         "Fig. 6: running time vs syndrome processing ratio f",
+         fig06Runtime},
+        {"fig10_variants",
+         "Fig. 10 top row: incremental mesh design steps (MC sweep)",
+         fig10Variants},
+        {"fig10_final",
+         "Fig. 10 (a)/(b): final design error scaling (MC sweep)",
+         fig10Final},
+        {"fig10_cycles",
+         "Fig. 10 (c): cycles-to-solution densities (MC sweep)",
+         fig10Cycles},
+        {"fig11_distance",
+         "Fig. 11: required code distance for 100 T gates",
+         fig11Distance},
+        {"table1_circuits", "Table I: benchmark characteristics",
+         table1Circuits},
+        {"table2_cells", "Table II: ERSFQ cell library", table2Cells},
+        {"table3_synthesis", "Table III: SFQ synthesis results",
+         table3Synthesis},
+        {"table4_latency",
+         "Table IV: decoder execution time statistics (MC sweep)",
+         table4Latency},
+        {"table5_fit",
+         "Table V: scaling-model fit c2 per distance (MC sweep)",
+         table5Fit},
+        {"micro_decoders",
+         "decoder throughput shoot-out through the sharded engine",
+         microDecoders},
+    };
+    return registry;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const Scenario &s : scenarioRegistry())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+int
+runScenario(const std::string &name, const RunOptions &options,
+            std::ostream &os)
+{
+    const Scenario *scenario = findScenario(name);
+    if (!scenario) {
+        std::cerr << "unknown scenario '" << name
+                  << "'; available scenarios:\n";
+        for (const Scenario &s : scenarioRegistry())
+            std::cerr << "  " << s.name << "\n";
+        return 1;
+    }
+    ScenarioContext ctx(options, os);
+    scenario->run(ctx);
+    ctx.finish();
+    return 0;
+}
+
+namespace {
+
+void
+printUsage(std::ostream &os, const std::string &binary, bool withScenario)
+{
+    os << "usage: " << binary;
+    if (withScenario)
+        os << " --scenario NAME";
+    os << " [--threads N] [--shard-trials N] [--trials-scale X]"
+          " [--seed S] [--format table|csv|json]";
+    if (withScenario)
+        os << " [--list]";
+    os << " [--help]\n";
+    if (withScenario) {
+        os << "\nscenarios:\n";
+        for (const Scenario &s : scenarioRegistry())
+            os << "  " << s.name << "  -  " << s.description << "\n";
+    }
+    os << "\nNISQPP_TRIALS (env) multiplies trial budgets on top of"
+          " --trials-scale.\n";
+}
+
+/** Parse one numeric flag value or die with a usage error. */
+double
+numericValue(const std::string &flag, const char *text)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text, &end);
+    if (end == text || *end != '\0')
+        fatal(flag + ": expected a number, got '" + text + "'");
+    return v;
+}
+
+struct ParsedArgs
+{
+    RunOptions options;
+    std::string scenario;
+    bool listOnly = false;
+    bool helpOnly = false;
+};
+
+ParsedArgs
+parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
+{
+    ParsedArgs parsed;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal(arg + ": missing value");
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            parsed.helpOnly = true;
+        } else if (arg == "--list" && scenarioFlagAllowed) {
+            parsed.listOnly = true;
+        } else if (arg == "--scenario" && scenarioFlagAllowed) {
+            parsed.scenario = value();
+        } else if (arg == "--threads") {
+            const double v = numericValue(arg, value());
+            // Range-check before casting: out-of-range float->int
+            // conversion is undefined behavior.
+            if (!(v >= 0) || v > 4096 || v != std::floor(v))
+                fatal("--threads: expected an integer in [0, 4096]");
+            parsed.options.threads = static_cast<int>(v);
+        } else if (arg == "--shard-trials") {
+            const double v = numericValue(arg, value());
+            if (!(v >= 1) || v > 1e15 || v != std::floor(v))
+                fatal("--shard-trials: expected an integer in "
+                      "[1, 1e15]");
+            parsed.options.shardTrials = static_cast<std::size_t>(v);
+        } else if (arg == "--trials-scale") {
+            const double v = numericValue(arg, value());
+            if (!(v > 0) || v > kMaxTrialsMultiplier)
+                fatal("--trials-scale: expected a positive number "
+                      "<= 1e6");
+            parsed.options.trialsScale = v;
+        } else if (arg == "--seed") {
+            const char *text = value();
+            char *end = nullptr;
+            errno = 0;
+            parsed.options.seed = std::strtoull(text, &end, 0);
+            // strtoull silently wraps negatives and saturates on
+            // overflow; reject both so typo'd seeds never alias.
+            if (end == text || *end != '\0' || text[0] == '-' ||
+                errno == ERANGE)
+                fatal("--seed: expected an unsigned 64-bit integer, "
+                      "got '" + std::string(text) + "'");
+            parsed.options.seedSet = true;
+        } else if (arg == "--format") {
+            const std::string text = value();
+            if (text == "table")
+                parsed.options.format = OutputFormat::Table;
+            else if (text == "csv")
+                parsed.options.format = OutputFormat::Csv;
+            else if (text == "json")
+                parsed.options.format = OutputFormat::Json;
+            else
+                fatal("--format: expected table, csv or json");
+        } else {
+            fatal("unknown argument '" + arg + "' (try --help)");
+        }
+    }
+    return parsed;
+}
+
+} // namespace
+
+int
+scenarioMain(const std::string &name, int argc, char **argv)
+{
+    const ParsedArgs parsed = parseArgs(argc, argv, false);
+    if (parsed.helpOnly) {
+        printUsage(std::cout, argv[0], false);
+        return 0;
+    }
+    return runScenario(name, parsed.options, std::cout);
+}
+
+int
+nisqppRunMain(int argc, char **argv)
+{
+    const ParsedArgs parsed = parseArgs(argc, argv, true);
+    if (parsed.helpOnly) {
+        printUsage(std::cout, "nisqpp_run", true);
+        return 0;
+    }
+    if (parsed.listOnly) {
+        for (const Scenario &s : scenarioRegistry())
+            std::cout << s.name << "  -  " << s.description << "\n";
+        return 0;
+    }
+    if (parsed.scenario.empty()) {
+        printUsage(std::cerr, "nisqpp_run", true);
+        return 1;
+    }
+    return runScenario(parsed.scenario, parsed.options, std::cout);
+}
+
+} // namespace nisqpp

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Named experiment scenarios: every paper figure/table the repository
+ * reproduces is registered here by name, runnable through the parallel
+ * engine with uniform flags. The nisqpp_run CLI dispatches any scenario
+ * (`--scenario fig10_final --threads 4 --format csv`); each bench
+ * binary is a thin wrapper pinned to one scenario name.
+ */
+
+#ifndef NISQPP_ENGINE_SCENARIO_HH
+#define NISQPP_ENGINE_SCENARIO_HH
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hh"
+#include "engine/sweep.hh"
+
+namespace nisqpp {
+
+/** Rendering mode for scenario output. */
+enum class OutputFormat
+{
+    Table, ///< aligned tables with narrative notes (default)
+    Csv,   ///< tables as CSV, notes suppressed
+    Json,  ///< one JSON document with every table, notes suppressed
+};
+
+/** Parsed command-line options shared by nisqpp_run and the benches. */
+struct RunOptions
+{
+    int threads = 1;
+    std::size_t shardTrials = 512;
+    double trialsScale = 1.0;
+    std::uint64_t seed = 0;
+    bool seedSet = false; ///< --seed given: overrides scenario defaults
+    OutputFormat format = OutputFormat::Table;
+};
+
+/**
+ * Everything a scenario needs: the engine, scaling/seed policy and the
+ * format-aware output channel. Tables go through table() so one
+ * scenario body serves all three formats.
+ */
+class ScenarioContext
+{
+  public:
+    ScenarioContext(const RunOptions &options, std::ostream &os);
+
+    /**
+     * The sharded engine, constructed (with its thread pool) on first
+     * use so analytic scenarios never spawn workers.
+     */
+    Engine &engine();
+    OutputFormat format() const { return options_.format; }
+
+    /** Scenario's master seed: --seed when given, else @p fallback. */
+    std::uint64_t seed(std::uint64_t fallback) const;
+
+    /** Apply --trials-scale and then NISQPP_TRIALS to a stop rule. */
+    StopRule scaled(const StopRule &rule) const;
+
+    /** Narrative line; printed in table mode only. */
+    void note(const std::string &line);
+
+    /** Emit one titled table in the selected format. */
+    void table(const std::string &id, const TablePrinter &table);
+
+    /** Close the output document (JSON footer); called by the runner. */
+    void finish();
+
+  private:
+    RunOptions options_;
+    std::ostream &os_;
+    std::unique_ptr<Engine> engine_; ///< lazily constructed
+    bool firstTable_ = true;
+};
+
+/** One registered scenario. */
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    void (*run)(ScenarioContext &);
+};
+
+/** All scenarios, in presentation order. */
+const std::vector<Scenario> &scenarioRegistry();
+
+/** Look up a scenario by name; nullptr when unknown. */
+const Scenario *findScenario(const std::string &name);
+
+/** Run one scenario with the given options; returns an exit code. */
+int runScenario(const std::string &name, const RunOptions &options,
+                std::ostream &os);
+
+/**
+ * Entry point of a thin bench binary pinned to @p name: parses the
+ * shared flags (everything but --scenario) and runs.
+ */
+int scenarioMain(const std::string &name, int argc, char **argv);
+
+/** Entry point of the nisqpp_run binary. */
+int nisqppRunMain(int argc, char **argv);
+
+} // namespace nisqpp
+
+#endif // NISQPP_ENGINE_SCENARIO_HH

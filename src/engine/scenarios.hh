@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Internal declarations of the scenario bodies (one per reproduced
+ * figure/table); the registry in scenario.cc wires them to names.
+ */
+
+#ifndef NISQPP_ENGINE_SCENARIOS_HH
+#define NISQPP_ENGINE_SCENARIOS_HH
+
+namespace nisqpp {
+
+class ScenarioContext;
+
+namespace scenarios {
+
+/** Analytic reproductions (no Monte Carlo). @{ */
+void fig01Sqv(ScenarioContext &ctx);
+void fig05Backlog(ScenarioContext &ctx);
+void fig06Runtime(ScenarioContext &ctx);
+void fig11Distance(ScenarioContext &ctx);
+void table1Circuits(ScenarioContext &ctx);
+void table2Cells(ScenarioContext &ctx);
+void table3Synthesis(ScenarioContext &ctx);
+/** @} */
+
+/** Monte Carlo sweeps through the parallel engine. @{ */
+void fig10Final(ScenarioContext &ctx);
+void fig10Variants(ScenarioContext &ctx);
+void fig10Cycles(ScenarioContext &ctx);
+void table4Latency(ScenarioContext &ctx);
+void table5Fit(ScenarioContext &ctx);
+void microDecoders(ScenarioContext &ctx);
+/** @} */
+
+} // namespace scenarios
+} // namespace nisqpp
+
+#endif // NISQPP_ENGINE_SCENARIOS_HH

@@ -1,0 +1,227 @@
+#include "engine/sweep.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "engine/thread_pool.hh"
+
+namespace nisqpp {
+
+std::vector<double>
+SweepConfig::logSpaced(double lo, double hi, int count)
+{
+    require(lo > 0 && hi > lo && count >= 2,
+            "logSpaced: bad range");
+    std::vector<double> out;
+    out.reserve(count);
+    const double step = (std::log(hi) - std::log(lo)) / (count - 1);
+    for (int i = 0; i < count; ++i)
+        out.push_back(std::exp(std::log(lo) + step * i));
+    return out;
+}
+
+namespace {
+
+/** Fixed trial budget and seed of one shard of a cell. */
+struct Shard
+{
+    std::size_t trials;
+    std::uint64_t seed;
+};
+
+/**
+ * Split a cell's maxTrials budget into shardTrials-sized shards, each
+ * with its own child stream off the cell seed. Depends only on (rule,
+ * shardTrials, seed) — never on the thread count.
+ */
+std::vector<Shard>
+planShards(const StopRule &rule, std::size_t shardTrials,
+           std::uint64_t cellSeed)
+{
+    require(shardTrials > 0, "Engine: shardTrials must be positive");
+    std::vector<Shard> shards;
+    Rng cellRng(cellSeed);
+    for (std::size_t done = 0; done < rule.maxTrials;
+         done += shardTrials) {
+        Shard shard;
+        shard.trials = std::min(shardTrials, rule.maxTrials - done);
+        Rng child = cellRng.split();
+        shard.seed = child.next();
+        shards.push_back(shard);
+    }
+    return shards;
+}
+
+/** Run one shard to completion: exactly shard.trials rounds. */
+MonteCarloResult
+runShard(const CellSpec &spec, const Shard &shard)
+{
+    auto z_dec = (*spec.factory)(*spec.lattice, ErrorType::Z);
+    std::unique_ptr<Decoder> x_dec;
+    std::unique_ptr<ErrorModel> model;
+    if (spec.depolarizing) {
+        model = std::make_unique<DepolarizingModel>(spec.physicalRate);
+        x_dec = (*spec.factory)(*spec.lattice, ErrorType::X);
+    } else {
+        model = std::make_unique<DephasingModel>(spec.physicalRate);
+    }
+    LifetimeSimulator sim(*spec.lattice, *model, *z_dec, x_dec.get(),
+                          shard.seed, spec.throughCircuits);
+    sim.setLifetimeMode(spec.lifetimeMode);
+    StopRule fixed;
+    fixed.minTrials = fixed.maxTrials = shard.trials;
+    fixed.targetFailures = ~std::size_t{0};
+    return sim.run(fixed);
+}
+
+} // namespace
+
+/**
+ * Ordered-merge state of one in-flight cell. Shards complete in any
+ * order; the holder of the mutex advances the merge frontier over the
+ * contiguous prefix of finished shards, checking the stop rule after
+ * each merge. Once the rule is satisfied at shard k the stop index is
+ * published so not-yet-started shards past k can be skipped — they can
+ * never affect the result, which is always the ordered prefix [0, k].
+ */
+struct Engine::CellRun
+{
+    CellSpec spec;
+    std::vector<Shard> shards;
+    std::vector<std::unique_ptr<MonteCarloResult>> pending;
+    MonteCarloResult acc;
+    std::size_t frontier = 0; ///< first shard not yet merged
+    std::size_t stop = 0;     ///< shards >= stop are never merged
+    std::atomic<std::size_t> stopHint{0};
+    std::mutex mutex;
+
+    void onShardDone(std::size_t index, MonteCarloResult result)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        pending[index] =
+            std::make_unique<MonteCarloResult>(std::move(result));
+        while (frontier < stop && pending[frontier]) {
+            acc.merge(*pending[frontier]);
+            pending[frontier].reset();
+            ++frontier;
+            if (acc.trials >= spec.rule.minTrials &&
+                acc.failures >= spec.rule.targetFailures) {
+                stop = frontier;
+                stopHint.store(frontier, std::memory_order_release);
+                break;
+            }
+        }
+    }
+};
+
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      pool_(std::make_unique<ThreadPool>(options.threads))
+{
+    require(options_.shardTrials > 0,
+            "Engine: shardTrials must be positive");
+}
+
+Engine::~Engine() = default;
+
+int
+Engine::threads() const
+{
+    return pool_->threadCount();
+}
+
+void
+Engine::scheduleCell(const CellSpec &spec, CellRun &run)
+{
+    require(spec.lattice && spec.factory,
+            "Engine: cell needs a lattice and a decoder factory");
+    run.spec = spec;
+    run.shards = planShards(spec.rule, options_.shardTrials, spec.seed);
+    run.pending.resize(run.shards.size());
+    run.stop = run.shards.size();
+    run.stopHint.store(run.shards.size(), std::memory_order_release);
+    for (std::size_t i = 0; i < run.shards.size(); ++i) {
+        pool_->submit([&run, i] {
+            // Shards at or past the published stop index can never be
+            // part of the merged prefix; skip the wasted work.
+            if (i >= run.stopHint.load(std::memory_order_acquire))
+                return;
+            run.onShardDone(i, runShard(run.spec, run.shards[i]));
+        });
+    }
+}
+
+MonteCarloResult
+Engine::collectCell(CellRun &run)
+{
+    MonteCarloResult result = std::move(run.acc);
+    result.finalize();
+    return result;
+}
+
+MonteCarloResult
+Engine::runCell(const CellSpec &spec)
+{
+    CellRun run;
+    scheduleCell(spec, run);
+    pool_->wait();
+    return collectCell(run);
+}
+
+SweepResult
+Engine::runSweep(const SweepConfig &config, const DecoderFactory &factory)
+{
+    require(!config.physicalRates.empty(),
+            "runSweep: no physical rates given");
+
+    // Lattices are shared read-only across every shard of a distance.
+    std::vector<std::unique_ptr<SurfaceLattice>> lattices;
+    lattices.reserve(config.distances.size());
+    for (int d : config.distances)
+        lattices.push_back(std::make_unique<SurfaceLattice>(d));
+
+    // Cell seeds are drawn in fixed grid order from the master stream,
+    // mirroring the legacy serial sweep's per-cell split() sequence.
+    Rng master(config.seed);
+    const std::size_t cols = config.physicalRates.size();
+    std::vector<std::unique_ptr<CellRun>> runs;
+    runs.reserve(config.distances.size() * cols);
+    for (std::size_t di = 0; di < config.distances.size(); ++di) {
+        for (double p : config.physicalRates) {
+            CellSpec spec;
+            spec.lattice = lattices[di].get();
+            spec.physicalRate = p;
+            spec.depolarizing = config.depolarizing;
+            spec.throughCircuits = config.throughCircuits;
+            spec.lifetimeMode = config.lifetimeMode;
+            spec.rule = config.stopRule;
+            Rng child = master.split();
+            spec.seed = child.next();
+            spec.factory = &factory;
+            runs.push_back(std::make_unique<CellRun>());
+            scheduleCell(spec, *runs.back());
+        }
+    }
+    pool_->wait();
+
+    SweepResult result;
+    for (std::size_t di = 0; di < config.distances.size(); ++di) {
+        ErrorRateCurve curve;
+        curve.distance = config.distances[di];
+        std::vector<MonteCarloResult> row;
+        for (std::size_t pi = 0; pi < cols; ++pi) {
+            MonteCarloResult mc = collectCell(*runs[di * cols + pi]);
+            curve.p.push_back(config.physicalRates[pi]);
+            curve.pl.push_back(mc.logicalErrorRate);
+            row.push_back(std::move(mc));
+        }
+        result.curves.push_back(std::move(curve));
+        result.cells.push_back(std::move(row));
+    }
+    return result;
+}
+
+} // namespace nisqpp

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Parallel experiment engine: shards each (code distance, physical
+ * rate) Monte Carlo grid cell into fixed-size trial shards, runs the
+ * shards on a work-stealing thread pool, and merges shard results in
+ * shard-index order. Because shard seeds derive only from the master
+ * seed (via Rng::split child streams) and the merge order is fixed, an
+ * N-thread run produces byte-identical aggregates to a 1-thread run.
+ *
+ * Protocol note: each shard runs its own LifetimeSimulator from a
+ * clean lattice state. In lifetime mode a cell is therefore sampled
+ * as independent logical-memory *segments* of shardTrials rounds
+ * rather than one continuous run — statistically equivalent in steady
+ * state, but each segment carries a warmup transient of order d
+ * rounds, so very small shardTrials slightly undercounts PL. Raise
+ * EngineOptions::shardTrials (or use one shard: shardTrials >=
+ * maxTrials) when segment boundaries matter.
+ */
+
+#ifndef NISQPP_ENGINE_SWEEP_HH
+#define NISQPP_ENGINE_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/monte_carlo.hh"
+#include "sim/threshold.hh"
+
+namespace nisqpp {
+
+class ThreadPool;
+
+/** Builds a decoder for a lattice/type; lets sweeps construct per-d. */
+using DecoderFactory = std::function<std::unique_ptr<Decoder>(
+    const SurfaceLattice &, ErrorType)>;
+
+/** Configuration of one logical-error-rate sweep. */
+struct SweepConfig
+{
+    std::vector<int> distances{3, 5, 7, 9};
+    std::vector<double> physicalRates;
+    bool depolarizing = false; ///< default: pure dephasing (paper)
+    bool throughCircuits = false;
+    bool lifetimeMode = false; ///< the paper's persistent-state protocol
+    StopRule stopRule{};
+    std::uint64_t seed = 0x5150f00dULL;
+
+    /** Log-spaced physical error rates between @p lo and @p hi. */
+    static std::vector<double> logSpaced(double lo, double hi, int count);
+};
+
+/** Results of one sweep: a curve per distance + per-point telemetry. */
+struct SweepResult
+{
+    std::vector<ErrorRateCurve> curves;
+    /** cellStats[di][pi] = full Monte Carlo result for that grid point. */
+    std::vector<std::vector<MonteCarloResult>> cells;
+};
+
+/** Tuning knobs of the parallel engine. */
+struct EngineOptions
+{
+    /** Worker threads; 0 selects hardware concurrency. */
+    int threads = 1;
+
+    /**
+     * Trials per shard: the unit of parallelism AND of early-stop
+     * granularity. Results are invariant under the thread count but
+     * NOT under this value (it fixes the shard seed streams), so keep
+     * it constant when comparing runs.
+     */
+    std::size_t shardTrials = 512;
+};
+
+/** One Monte Carlo grid cell, fully specified for sharded execution. */
+struct CellSpec
+{
+    const SurfaceLattice *lattice = nullptr;
+    double physicalRate = 0.0;
+    bool depolarizing = false;
+    bool throughCircuits = false;
+    bool lifetimeMode = false;
+    StopRule rule{};          ///< already env/flag scaled by the caller
+    std::uint64_t seed = 0;   ///< cell master seed
+    const DecoderFactory *factory = nullptr;
+};
+
+/**
+ * Sharded, deterministic Monte Carlo executor. One engine owns one
+ * thread pool; runSweep/runCell may be called repeatedly but not
+ * concurrently from multiple threads.
+ */
+class Engine
+{
+  public:
+    explicit Engine(EngineOptions options = {});
+    ~Engine();
+
+    int threads() const;
+    const EngineOptions &options() const { return options_; }
+
+    /** Run one grid cell sharded across the pool; result finalized. */
+    MonteCarloResult runCell(const CellSpec &spec);
+
+    /**
+     * Run a full (distance, physical-rate) grid for @p factory
+     * decoders. Cell seeds are drawn from config.seed in fixed grid
+     * order, so results depend only on the configuration, the master
+     * seed and shardTrials — never on the thread count.
+     */
+    SweepResult runSweep(const SweepConfig &config,
+                         const DecoderFactory &factory);
+
+  private:
+    struct CellRun; ///< in-flight ordered-merge state of one cell
+
+    void scheduleCell(const CellSpec &spec, CellRun &run);
+    static MonteCarloResult collectCell(CellRun &run);
+
+    EngineOptions options_;
+    std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_ENGINE_SWEEP_HH

@@ -1,0 +1,114 @@
+#include "engine/thread_pool.hh"
+
+#include <chrono>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 0)
+        fatal("ThreadPool: negative thread count");
+    std::size_t count = static_cast<std::size_t>(threads);
+    if (count == 0) {
+        count = std::thread::hardware_concurrency();
+        if (count == 0)
+            count = 1;
+    }
+    queues_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        queues_.push_back(std::make_unique<WorkQueue>());
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    shutdown_.store(true, std::memory_order_release);
+    workReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    require(static_cast<bool>(task), "ThreadPool: empty task");
+    const std::size_t slot =
+        nextQueue_.fetch_add(1, std::memory_order_relaxed) %
+        queues_.size();
+    {
+        // Count the task before publishing it: a worker may pop and
+        // finish it the instant it hits the queue, and the decrement
+        // must never observe a counter the increment hasn't reached.
+        std::lock_guard<std::mutex> lock(stateMutex_);
+        ++inflight_;
+    }
+    {
+        std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+        queues_[slot]->tasks.push_back(std::move(task));
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(stateMutex_);
+    allDone_.wait(lock, [this] { return inflight_ == 0; });
+}
+
+bool
+ThreadPool::tryAcquire(std::size_t self, Task &out)
+{
+    // Own queue: front. All tasks arrive by external submission in
+    // submission order, and the engine's early-stop skip relies on
+    // shards executing roughly index-ordered — LIFO draining would
+    // run low-index shards last and defeat it.
+    {
+        auto &mine = *queues_[self];
+        std::lock_guard<std::mutex> lock(mine.mutex);
+        if (!mine.tasks.empty()) {
+            out = std::move(mine.tasks.front());
+            mine.tasks.pop_front();
+            return true;
+        }
+    }
+    // Steal: front of the next victims, oldest work first.
+    for (std::size_t step = 1; step < queues_.size(); ++step) {
+        auto &victim = *queues_[(self + step) % queues_.size()];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+            out = std::move(victim.tasks.front());
+            victim.tasks.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    while (true) {
+        Task task;
+        if (tryAcquire(self, task)) {
+            task();
+            std::lock_guard<std::mutex> lock(stateMutex_);
+            if (--inflight_ == 0)
+                allDone_.notify_all();
+            continue;
+        }
+        if (shutdown_.load(std::memory_order_acquire))
+            return;
+        // Timed wait sidesteps the submit/sleep race without spinning:
+        // a missed notify costs at most one millisecond of latency.
+        std::unique_lock<std::mutex> lock(stateMutex_);
+        workReady_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+}
+
+} // namespace nisqpp

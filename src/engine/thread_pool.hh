@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Work-stealing thread pool backing the parallel experiment engine.
+ * Each worker owns a task queue drained oldest-first, and steals from
+ * the front of a victim's queue when idle, so execution stays roughly
+ * in submission order (the engine's early-stop shard skip depends on
+ * low-index shards running first). Submission round-robins across
+ * queues so a burst of shards spreads before stealing even starts.
+ */
+
+#ifndef NISQPP_ENGINE_THREAD_POOL_HH
+#define NISQPP_ENGINE_THREAD_POOL_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace nisqpp {
+
+/**
+ * Fixed-size pool of worker threads executing submitted tasks.
+ * Tasks must not throw; experiment shards report through their own
+ * result slots. wait() blocks the submitting thread until every task
+ * submitted so far has finished, so the pool can be reused across
+ * sweep phases.
+ */
+class ThreadPool
+{
+  public:
+    using Task = std::function<void()>;
+
+    /** @param threads Worker count; 0 selects hardware concurrency. */
+    explicit ThreadPool(int threads = 0);
+
+    /** Drains remaining work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int threadCount() const
+    {
+        return static_cast<int>(workers_.size());
+    }
+
+    /** Enqueue one task; returns immediately. */
+    void submit(Task task);
+
+    /** Block until all tasks submitted so far have completed. */
+    void wait();
+
+  private:
+    /** One worker's deque; the mutex arbitrates owner vs thieves. */
+    struct WorkQueue
+    {
+        std::deque<Task> tasks;
+        std::mutex mutex;
+    };
+
+    void workerLoop(std::size_t self);
+    bool tryAcquire(std::size_t self, Task &out);
+
+    std::vector<std::unique_ptr<WorkQueue>> queues_;
+    std::vector<std::thread> workers_;
+    std::atomic<bool> shutdown_{false};
+    std::atomic<std::size_t> nextQueue_{0};
+
+    /** Tasks submitted but not yet finished (for wait()). */
+    std::size_t inflight_ = 0;
+    std::mutex stateMutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_ENGINE_THREAD_POOL_HH

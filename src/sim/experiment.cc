@@ -1,64 +1,18 @@
 #include "sim/experiment.hh"
 
-#include <cmath>
-
-#include "common/logging.hh"
 #include "decoders/greedy_decoder.hh"
 #include "decoders/mwpm_decoder.hh"
 #include "decoders/union_find_decoder.hh"
 
 namespace nisqpp {
 
-std::vector<double>
-SweepConfig::logSpaced(double lo, double hi, int count)
-{
-    require(lo > 0 && hi > lo && count >= 2,
-            "logSpaced: bad range");
-    std::vector<double> out;
-    out.reserve(count);
-    const double step = (std::log(hi) - std::log(lo)) / (count - 1);
-    for (int i = 0; i < count; ++i)
-        out.push_back(std::exp(std::log(lo) + step * i));
-    return out;
-}
-
 SweepResult
 sweepLogicalError(const SweepConfig &config, const DecoderFactory &factory)
 {
-    require(!config.physicalRates.empty(),
-            "sweepLogicalError: no physical rates given");
-    SweepResult result;
-    const StopRule rule = config.stopRule.scaledByEnv();
-
-    Rng master(config.seed);
-    for (int d : config.distances) {
-        SurfaceLattice lattice(d);
-        ErrorRateCurve curve;
-        curve.distance = d;
-        std::vector<MonteCarloResult> row;
-        for (double p : config.physicalRates) {
-            auto z_dec = factory(lattice, ErrorType::Z);
-            std::unique_ptr<Decoder> x_dec;
-            std::unique_ptr<ErrorModel> model;
-            if (config.depolarizing) {
-                model = std::make_unique<DepolarizingModel>(p);
-                x_dec = factory(lattice, ErrorType::X);
-            } else {
-                model = std::make_unique<DephasingModel>(p);
-            }
-            Rng child = master.split();
-            LifetimeSimulator sim(lattice, *model, *z_dec, x_dec.get(),
-                                  child.next(), config.throughCircuits);
-            sim.setLifetimeMode(config.lifetimeMode);
-            MonteCarloResult mc = sim.run(rule);
-            curve.p.push_back(p);
-            curve.pl.push_back(mc.logicalErrorRate);
-            row.push_back(std::move(mc));
-        }
-        result.curves.push_back(std::move(curve));
-        result.cells.push_back(std::move(row));
-    }
-    return result;
+    SweepConfig scaled = config;
+    scaled.stopRule = config.stopRule.scaledByEnv();
+    Engine engine{EngineOptions{}}; // one thread: serial reference run
+    return engine.runSweep(scaled, factory);
 }
 
 DecoderFactory

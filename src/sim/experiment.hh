@@ -3,51 +3,29 @@
  * Experiment driver shared by the bench binaries: sweeps (code distance,
  * physical error rate) grids for a decoder family, collecting logical
  * error rate curves, decoder cycle statistics and fitted scaling
- * parameters. Factored here so every figure/table bench stays a thin
- * printer.
+ * parameters. The sweep types and the sharded executor live in
+ * engine/sweep.hh; this header keeps the decoder factories, the fitting
+ * helper and a serial-equivalent convenience wrapper.
  */
 
 #ifndef NISQPP_SIM_EXPERIMENT_HH
 #define NISQPP_SIM_EXPERIMENT_HH
 
-#include <functional>
-#include <memory>
 #include <vector>
 
 #include "common/fit.hh"
-#include "sim/monte_carlo.hh"
+#include "core/mesh_config.hh"
+#include "engine/sweep.hh"
 #include "sim/threshold.hh"
 
 namespace nisqpp {
 
-/** Builds a decoder for a lattice/type; lets sweeps construct per-d. */
-using DecoderFactory = std::function<std::unique_ptr<Decoder>(
-    const SurfaceLattice &, ErrorType)>;
-
-/** Configuration of one logical-error-rate sweep. */
-struct SweepConfig
-{
-    std::vector<int> distances{3, 5, 7, 9};
-    std::vector<double> physicalRates;
-    bool depolarizing = false; ///< default: pure dephasing (paper)
-    bool throughCircuits = false;
-    bool lifetimeMode = false; ///< the paper's persistent-state protocol
-    StopRule stopRule{};
-    std::uint64_t seed = 0x5150f00dULL;
-
-    /** Log-spaced physical error rates between @p lo and @p hi. */
-    static std::vector<double> logSpaced(double lo, double hi, int count);
-};
-
-/** Results of one sweep: a curve per distance + per-point telemetry. */
-struct SweepResult
-{
-    std::vector<ErrorRateCurve> curves;
-    /** cellStats[di][pi] = full Monte Carlo result for that grid point. */
-    std::vector<std::vector<MonteCarloResult>> cells;
-};
-
-/** Run a logical-error-rate sweep for @p factory decoders. */
+/**
+ * Run a logical-error-rate sweep for @p factory decoders on a
+ * single-threaded engine (NISQPP_TRIALS-scaled). Produces the same
+ * aggregates as Engine::runSweep at any thread count for the same
+ * seed; use an Engine directly to parallelize.
+ */
 SweepResult sweepLogicalError(const SweepConfig &config,
                               const DecoderFactory &factory);
 

@@ -1,25 +1,79 @@
 #include "sim/monte_carlo.hh"
 
+#include <cmath>
 #include <cstdlib>
 
 #include "common/logging.hh"
 
 namespace nisqpp {
 
+namespace {
+
+/** Scale a trial count, clamping instead of overflowing size_t. */
+std::size_t
+scaleTrials(std::size_t n, double mult)
+{
+    // Largest double guaranteed below SIZE_MAX on 64-bit targets.
+    constexpr double cap = 9.0e18;
+    const double scaled = static_cast<double>(n) * mult;
+    if (scaled >= cap)
+        return static_cast<std::size_t>(cap);
+    const auto result = static_cast<std::size_t>(scaled);
+    // Never scale a nonzero budget down to nothing: a zero-trial run
+    // is indistinguishable from a genuine zero-failure result.
+    if (result == 0 && n > 0)
+        return 1;
+    return result;
+}
+
+} // namespace
+
+StopRule
+StopRule::scaled(double mult) const
+{
+    StopRule out = *this;
+    if (!std::isfinite(mult) || mult <= 0)
+        return out;
+    out.minTrials = scaleTrials(out.minTrials, mult);
+    out.maxTrials = scaleTrials(out.maxTrials, mult);
+    return out;
+}
+
 StopRule
 StopRule::scaledByEnv() const
 {
-    StopRule scaled = *this;
-    if (const char *env = std::getenv("NISQPP_TRIALS")) {
-        const double mult = std::atof(env);
-        if (mult > 0) {
-            scaled.minTrials =
-                static_cast<std::size_t>(scaled.minTrials * mult);
-            scaled.maxTrials =
-                static_cast<std::size_t>(scaled.maxTrials * mult);
-        }
+    const char *env = std::getenv("NISQPP_TRIALS");
+    if (!env || !*env)
+        return *this;
+    char *end = nullptr;
+    const double mult = std::strtod(env, &end);
+    if (end == env || (end && *end != '\0') || !std::isfinite(mult) ||
+        mult <= 0 || mult > kMaxTrialsMultiplier) {
+        warn("NISQPP_TRIALS='" + std::string(env) +
+             "' is not a positive multiplier <= 1e6; using 1.0");
+        return *this;
     }
-    return scaled;
+    return scaled(mult);
+}
+
+void
+MonteCarloResult::merge(const MonteCarloResult &other)
+{
+    trials += other.trials;
+    failures += other.failures;
+    syndromeResidualFailures += other.syndromeResidualFailures;
+    cycles.merge(other.cycles);
+    cycleHistogram.merge(other.cycleHistogram);
+}
+
+void
+MonteCarloResult::finalize()
+{
+    logicalErrorRate =
+        trials ? static_cast<double>(failures) /
+                     static_cast<double>(trials)
+               : 0.0;
+    ci = wilson95(failures, trials);
 }
 
 LifetimeSimulator::LifetimeSimulator(const SurfaceLattice &lattice,
@@ -133,11 +187,7 @@ LifetimeSimulator::run(const StopRule &rule)
             acc.failures >= rule.targetFailures)
             break;
     }
-    acc.logicalErrorRate =
-        acc.trials ? static_cast<double>(acc.failures) /
-                         static_cast<double>(acc.trials)
-                   : 0.0;
-    acc.ci = wilson95(acc.failures, acc.trials);
+    acc.finalize();
     return acc;
 }
 

@@ -24,6 +24,13 @@
 
 namespace nisqpp {
 
+/**
+ * Largest accepted trial-budget multiplier (NISQPP_TRIALS,
+ * --trials-scale); larger values are almost certainly typos and would
+ * schedule practically unbounded runs.
+ */
+inline constexpr double kMaxTrialsMultiplier = 1e6;
+
 /** Stopping rule for adaptive sampling. */
 struct StopRule
 {
@@ -32,9 +39,18 @@ struct StopRule
     std::size_t targetFailures = 100; ///< stop early once this many seen
 
     /**
+     * Scale min/max trial counts by @p mult (> 0); the failure target
+     * is left alone so early stopping keeps its meaning.
+     */
+    StopRule scaled(double mult) const;
+
+    /**
      * Scale trial counts by the NISQPP_TRIALS environment variable
      * (a multiplier, default 1.0) so benches can be re-run at higher
-     * statistical resolution without recompiling.
+     * statistical resolution without recompiling. Malformed values
+     * (non-numeric, non-positive, NaN/inf, above
+     * kMaxTrialsMultiplier) are rejected with a warning and leave
+     * the rule unchanged.
      */
     StopRule scaledByEnv() const;
 };
@@ -52,6 +68,17 @@ struct MonteCarloResult
     RunningStats cycles;
     /** Distribution of cycles (Fig. 10(c)); sized in the simulator. */
     Histogram cycleHistogram{0};
+
+    /**
+     * Fold another accumulator into this one (parallel shard
+     * reduction); call finalize() afterwards to refresh the derived
+     * rate and confidence interval. An empty accumulator adopts the
+     * other's histogram binning.
+     */
+    void merge(const MonteCarloResult &other);
+
+    /** Recompute logicalErrorRate and ci from trials/failures. */
+    void finalize();
 };
 
 /**

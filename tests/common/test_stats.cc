@@ -74,6 +74,73 @@ TEST(Histogram, BinsAndOverflow)
     EXPECT_EQ(h.lastNonzero(), 4u);
 }
 
+TEST(Histogram, MergeMatchesSequential)
+{
+    Histogram all(6), a(6), b(6);
+    Rng rng(11);
+    for (int i = 0; i < 500; ++i) {
+        const std::size_t v = rng.uniformInt(10); // some overflow
+        all.add(v);
+        (i % 3 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.total(), all.total());
+    EXPECT_EQ(a.overflow(), all.overflow());
+    for (std::size_t i = 0; i < all.numBins(); ++i)
+        EXPECT_EQ(a.bin(i), all.bin(i));
+}
+
+TEST(Histogram, MergeAccumulatesOverflow)
+{
+    Histogram a(2), b(2);
+    a.add(5);
+    b.add(7);
+    b.add(1);
+    a.merge(b);
+    EXPECT_EQ(a.overflow(), 2u);
+    EXPECT_EQ(a.bin(1), 1u);
+    EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, EmptyAccumulatorAdoptsBinning)
+{
+    Histogram acc(0); // default-constructed result accumulator shape
+    Histogram shard(8);
+    shard.add(3);
+    shard.add(12);
+    acc.merge(shard);
+    EXPECT_EQ(acc.numBins(), 9u);
+    EXPECT_EQ(acc.bin(3), 1u);
+    EXPECT_EQ(acc.overflow(), 1u);
+    EXPECT_EQ(acc.total(), 2u);
+}
+
+TEST(Histogram, MergeEmptyOtherIsNoop)
+{
+    Histogram a(4), empty(9);
+    a.add(2);
+    a.merge(empty);
+    EXPECT_EQ(a.numBins(), 5u);
+    EXPECT_EQ(a.total(), 1u);
+    EXPECT_EQ(a.bin(2), 1u);
+}
+
+TEST(Histogram, MergeEmptyIntoEmptyKeepsShape)
+{
+    Histogram a(0), b(5);
+    a.merge(b);
+    EXPECT_EQ(a.total(), 0u);
+    EXPECT_EQ(a.numBins(), 1u); // nothing adopted from empty input
+}
+
+TEST(HistogramDeathTest, MergeIncompatibleBinsPanics)
+{
+    Histogram a(4), b(9);
+    a.add(1);
+    b.add(1);
+    EXPECT_DEATH(a.merge(b), "incompatible binning");
+}
+
 TEST(Histogram, EmptyDensity)
 {
     Histogram h(3);

@@ -1,0 +1,162 @@
+/**
+ * @file The engine's headline guarantee: for one master seed and one
+ * shard size, the merged aggregates of a sweep are byte-identical at
+ * any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hh"
+
+namespace nisqpp {
+namespace {
+
+SweepConfig
+smallSweep()
+{
+    SweepConfig config;
+    config.distances = {3, 5};
+    config.physicalRates = {0.03, 0.08};
+    config.lifetimeMode = true;
+    config.stopRule = {600, 600, 1u << 30};
+    config.seed = 0xfeedULL;
+    return config;
+}
+
+void
+expectIdentical(const SweepResult &a, const SweepResult &b)
+{
+    ASSERT_EQ(a.cells.size(), b.cells.size());
+    for (std::size_t di = 0; di < a.cells.size(); ++di) {
+        ASSERT_EQ(a.cells[di].size(), b.cells[di].size());
+        for (std::size_t pi = 0; pi < a.cells[di].size(); ++pi) {
+            const MonteCarloResult &ca = a.cells[di][pi];
+            const MonteCarloResult &cb = b.cells[di][pi];
+            EXPECT_EQ(ca.trials, cb.trials);
+            EXPECT_EQ(ca.failures, cb.failures);
+            EXPECT_EQ(ca.syndromeResidualFailures,
+                      cb.syndromeResidualFailures);
+            EXPECT_DOUBLE_EQ(ca.logicalErrorRate, cb.logicalErrorRate);
+            // Cycle statistics merge in shard-index order, so even the
+            // floating-point accumulations must agree bit-for-bit.
+            EXPECT_EQ(ca.cycles.count(), cb.cycles.count());
+            EXPECT_DOUBLE_EQ(ca.cycles.mean(), cb.cycles.mean());
+            EXPECT_DOUBLE_EQ(ca.cycles.variance(),
+                             cb.cycles.variance());
+            EXPECT_DOUBLE_EQ(ca.cycles.max(), cb.cycles.max());
+            ASSERT_EQ(ca.cycleHistogram.numBins(),
+                      cb.cycleHistogram.numBins());
+            EXPECT_EQ(ca.cycleHistogram.total(),
+                      cb.cycleHistogram.total());
+            EXPECT_EQ(ca.cycleHistogram.overflow(),
+                      cb.cycleHistogram.overflow());
+            for (std::size_t bin = 0;
+                 bin < ca.cycleHistogram.numBins(); ++bin)
+                EXPECT_EQ(ca.cycleHistogram.bin(bin),
+                          cb.cycleHistogram.bin(bin));
+        }
+        EXPECT_EQ(a.curves[di].pl, b.curves[di].pl);
+    }
+}
+
+TEST(EngineDeterminism, OneThreadEqualsFourThreads)
+{
+    const SweepConfig config = smallSweep();
+    const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
+
+    EngineOptions one;
+    one.threads = 1;
+    one.shardTrials = 128; // several shards per cell
+    EngineOptions four = one;
+    four.threads = 4;
+
+    Engine serial(one), parallel(four);
+    expectIdentical(serial.runSweep(config, factory),
+                    parallel.runSweep(config, factory));
+}
+
+TEST(EngineDeterminism, EarlyStopIsThreadCountInvariant)
+{
+    // targetFailures trips mid-sweep; the merged prefix must be the
+    // same ordered set of shards regardless of completion order.
+    SweepConfig config;
+    config.distances = {3};
+    config.physicalRates = {0.15};
+    config.stopRule = {100, 4000, 40};
+    config.seed = 0xdeadULL;
+    const auto factory = mwpmDecoderFactory();
+
+    EngineOptions one;
+    one.threads = 1;
+    one.shardTrials = 50;
+    EngineOptions four = one;
+    four.threads = 4;
+
+    Engine serial(one), parallel(four);
+    const auto a = serial.runSweep(config, factory);
+    const auto b = parallel.runSweep(config, factory);
+    EXPECT_EQ(a.cells[0][0].trials, b.cells[0][0].trials);
+    EXPECT_EQ(a.cells[0][0].failures, b.cells[0][0].failures);
+    EXPECT_GE(a.cells[0][0].failures, 40u);
+    EXPECT_LT(a.cells[0][0].trials, 4000u);
+}
+
+TEST(EngineDeterminism, RepeatedRunsIdentical)
+{
+    const SweepConfig config = smallSweep();
+    const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
+    EngineOptions options;
+    options.threads = 2;
+    options.shardTrials = 128;
+    Engine engine(options);
+    expectIdentical(engine.runSweep(config, factory),
+                    engine.runSweep(config, factory));
+}
+
+TEST(EngineDeterminism, RunCellFinalizesDerivedFields)
+{
+    SurfaceLattice lattice(3);
+    const DecoderFactory factory = mwpmDecoderFactory();
+    CellSpec cell;
+    cell.lattice = &lattice;
+    cell.physicalRate = 0.08;
+    cell.rule = {400, 400, 1u << 30};
+    cell.seed = 7;
+    cell.factory = &factory;
+
+    EngineOptions options;
+    options.threads = 2;
+    options.shardTrials = 100;
+    Engine engine(options);
+    const MonteCarloResult res = engine.runCell(cell);
+    EXPECT_EQ(res.trials, 400u);
+    EXPECT_DOUBLE_EQ(res.logicalErrorRate,
+                     static_cast<double>(res.failures) / res.trials);
+    EXPECT_LE(res.ci.lo, res.logicalErrorRate);
+    EXPECT_GE(res.ci.hi, res.logicalErrorRate);
+}
+
+TEST(EngineDeterminism, LegacyWrapperMatchesEngine)
+{
+    // The wrapper applies NISQPP_TRIALS; neutralize the environment so
+    // both sides see the same budgets, then restore it.
+    const char *saved = std::getenv("NISQPP_TRIALS");
+    const std::string savedValue = saved ? saved : "";
+    unsetenv("NISQPP_TRIALS");
+
+    const SweepConfig config = smallSweep();
+    const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
+    EngineOptions options; // one thread, default shard size
+    Engine engine(options);
+    expectIdentical(sweepLogicalError(config, factory),
+                    engine.runSweep(config, factory));
+
+    if (saved)
+        setenv("NISQPP_TRIALS", savedValue.c_str(), 1);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -1,0 +1,78 @@
+/** @file Tests for the work-stealing thread pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "engine/thread_pool.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SingleThreadStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency)
+{
+    ThreadPool pool(0);
+    EXPECT_GE(pool.threadCount(), 1);
+}
+
+TEST(ThreadPool, WaitWithoutTasksReturns)
+{
+    ThreadPool pool(2);
+    pool.wait(); // must not deadlock
+    SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossWaves)
+{
+    ThreadPool pool(3);
+    std::atomic<int> count{0};
+    for (int wave = 0; wave < 5; ++wave) {
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&count] { ++count; });
+        pool.wait();
+        EXPECT_EQ(count.load(), 50 * (wave + 1));
+    }
+}
+
+TEST(ThreadPool, UnevenTasksAllFinish)
+{
+    // A few long tasks mixed with many short ones: idle workers must
+    // steal the short tasks queued behind the long ones.
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 64; ++i) {
+        pool.submit([&count, i] {
+            if (i % 16 == 0)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            ++count;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(count.load(), 64);
+}
+
+} // namespace
+} // namespace nisqpp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "decoders/mwpm_decoder.hh"
 #include "sim/monte_carlo.hh"
 
@@ -108,6 +110,98 @@ TEST(MonteCarlo, CircuitExtractionMatchesDirect)
     LifetimeSimulator circuit(lat, model, d2, nullptr, 31, true);
     StopRule rule{400, 400, 1u << 30};
     EXPECT_EQ(direct.run(rule).failures, circuit.run(rule).failures);
+}
+
+TEST(MonteCarlo, MergeMatchesOneLongRun)
+{
+    // Two half-length runs on distinct child streams, merged, must
+    // aggregate exactly like running the same two shards into one
+    // accumulator sequentially.
+    SurfaceLattice lat(3);
+    DephasingModel model(0.08);
+    StopRule half{250, 250, 1u << 30};
+
+    MeshDecoder d1(lat, ErrorType::Z), d2(lat, ErrorType::Z);
+    LifetimeSimulator sim1(lat, model, d1, nullptr, 41);
+    LifetimeSimulator sim2(lat, model, d2, nullptr, 42);
+    MonteCarloResult a = sim1.run(half);
+    const MonteCarloResult b = sim2.run(half);
+
+    a.merge(b);
+    a.finalize();
+    EXPECT_EQ(a.trials, 500u);
+    EXPECT_EQ(a.cycles.count(), 500u);
+    EXPECT_EQ(a.cycleHistogram.total(), 500u);
+    EXPECT_DOUBLE_EQ(a.logicalErrorRate,
+                     static_cast<double>(a.failures) / 500.0);
+    EXPECT_LE(a.ci.lo, a.logicalErrorRate);
+    EXPECT_GE(a.ci.hi, a.logicalErrorRate);
+}
+
+TEST(MonteCarlo, MergeIntoDefaultAccumulator)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.08);
+    MeshDecoder dec(lat, ErrorType::Z);
+    LifetimeSimulator sim(lat, model, dec, nullptr, 43);
+    const MonteCarloResult shard = sim.run({100, 100, 1u << 30});
+
+    MonteCarloResult acc; // default: unsized histogram, zero counts
+    acc.merge(shard);
+    acc.finalize();
+    EXPECT_EQ(acc.trials, shard.trials);
+    EXPECT_EQ(acc.failures, shard.failures);
+    EXPECT_EQ(acc.cycleHistogram.numBins(),
+              shard.cycleHistogram.numBins());
+    EXPECT_EQ(acc.cycleHistogram.total(),
+              shard.cycleHistogram.total());
+}
+
+TEST(MonteCarlo, StopRuleScaledMultipliesTrialBudgets)
+{
+    const StopRule rule{1000, 20000, 100};
+    const StopRule doubled = rule.scaled(2.0);
+    EXPECT_EQ(doubled.minTrials, 2000u);
+    EXPECT_EQ(doubled.maxTrials, 40000u);
+    EXPECT_EQ(doubled.targetFailures, 100u); // early stop untouched
+
+    const StopRule ignored = rule.scaled(-3.0);
+    EXPECT_EQ(ignored.minTrials, 1000u);
+    EXPECT_EQ(ignored.maxTrials, 20000u);
+
+    // Huge multipliers clamp instead of overflowing to zero budgets.
+    const StopRule huge = rule.scaled(1e30);
+    EXPECT_GT(huge.minTrials, rule.minTrials);
+    EXPECT_GT(huge.maxTrials, rule.maxTrials);
+    EXPECT_GE(huge.maxTrials, huge.minTrials);
+
+    // Tiny multipliers keep at least one trial: a zero-trial run
+    // would masquerade as a genuine zero-failure result.
+    const StopRule tiny = rule.scaled(1e-9);
+    EXPECT_EQ(tiny.minTrials, 1u);
+    EXPECT_EQ(tiny.maxTrials, 1u);
+}
+
+TEST(MonteCarlo, ScaledByEnvRejectsMalformedValues)
+{
+    const StopRule rule{1000, 20000, 100};
+    const char *bad[] = {"-2", "0",    "abc", "nan",
+                         "inf", "1.5x", "",    "1e30"};
+    for (const char *value : bad) {
+        setenv("NISQPP_TRIALS", value, 1);
+        const StopRule out = rule.scaledByEnv();
+        EXPECT_EQ(out.minTrials, rule.minTrials) << value;
+        EXPECT_EQ(out.maxTrials, rule.maxTrials) << value;
+    }
+
+    setenv("NISQPP_TRIALS", "2.5", 1);
+    const StopRule scaled = rule.scaledByEnv();
+    EXPECT_EQ(scaled.minTrials, 2500u);
+    EXPECT_EQ(scaled.maxTrials, 50000u);
+
+    unsetenv("NISQPP_TRIALS");
+    const StopRule unscaled = rule.scaledByEnv();
+    EXPECT_EQ(unscaled.minTrials, rule.minTrials);
 }
 
 TEST(MonteCarlo, WilsonIntervalBracketsRate)

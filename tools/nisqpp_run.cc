@@ -1,0 +1,17 @@
+/**
+ * @file Unified experiment runner: dispatches any registered scenario
+ * (every reproduced paper figure/table plus the decoder
+ * microbenchmarks) through the sharded parallel engine.
+ *
+ *   nisqpp_run --list
+ *   nisqpp_run --scenario fig10_final --threads 4 --seed 42
+ *   nisqpp_run --scenario micro_decoders --threads 2 --format json
+ */
+
+#include "engine/scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    return nisqpp::nisqppRunMain(argc, argv);
+}

@@ -1,0 +1,14 @@
+/**
+ * @file Thin wrapper over the 'micro_hotpath' scenario: the tracked
+ * per-trial hot-path benchmark behind BENCH_hotpath.json. Accepts the
+ * shared flags (--threads, --trials-scale, --seed, --format,
+ * --shard-trials).
+ */
+
+#include "engine/scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    return nisqpp::scenarioMain("micro_hotpath", argc, argv);
+}

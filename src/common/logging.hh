@@ -40,4 +40,19 @@ require(bool cond, const std::string &msg)
 
 } // namespace nisqpp
 
+/**
+ * Debug-only invariant check for hot-path accessors: compiles to
+ * nothing in release builds (NDEBUG), panics with the message in debug
+ * builds. Use require() instead on user-facing/CLI paths, where the
+ * check must survive into release binaries.
+ */
+#ifdef NDEBUG
+// Reference the operands without evaluating them so parameters used
+// only in checks do not trip -Wunused-parameter in release builds.
+#define NISQPP_DCHECK(cond, msg)                                      \
+    (true ? (void)0 : ((void)(cond), (void)(msg)))
+#else
+#define NISQPP_DCHECK(cond, msg) ::nisqpp::require((cond), (msg))
+#endif
+
 #endif // NISQPP_COMMON_LOGGING_HH

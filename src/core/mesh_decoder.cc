@@ -4,6 +4,7 @@
 #include <ostream>
 
 #include "common/logging.hh"
+#include "decoders/workspace.hh"
 
 namespace nisqpp {
 
@@ -298,6 +299,21 @@ MeshDecoder::step()
 Correction
 MeshDecoder::decode(const Syndrome &syndrome)
 {
+    Correction corr;
+    decodeImpl(syndrome, corr);
+    return corr;
+}
+
+void
+MeshDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
+{
+    ws.correction.clear();
+    decodeImpl(syndrome, ws.correction);
+}
+
+void
+MeshDecoder::decodeImpl(const Syndrome &syndrome, Correction &out)
+{
     require(syndrome.type() == type(), "MeshDecoder: syndrome type "
                                        "mismatch");
     stats_ = MeshDecodeStats{};
@@ -314,10 +330,10 @@ MeshDecoder::decode(const Syndrome &syndrome)
     lastFire_ = 0;
     cycle_ = 0;
 
-    for (int a : syndrome.hotList()) {
+    syndrome.forEachHot([&](int a) {
         const Coord rc = lattice().ancillaCoord(type(), a);
         hot_[rc.row + 1] |= Word{1} << (rc.col + 1);
-    }
+    });
 
     auto hot_remaining = [&] {
         int count = 0;
@@ -341,7 +357,6 @@ MeshDecoder::decode(const Syndrome &syndrome)
     stats_.cycles = cycle_;
     stats_.remainingHot = hot_remaining();
 
-    Correction corr;
     const int n = lattice().gridSize();
     for (int r = 0; r < n; ++r) {
         Word row = chain_[r + 1] & interior_[r + 1];
@@ -350,10 +365,9 @@ MeshDecoder::decode(const Syndrome &syndrome)
             row &= row - 1;
             const Coord rc{r, bit - 1};
             if (lattice().role(rc) == SiteRole::Data)
-                corr.dataFlips.push_back(lattice().dataIndex(rc));
+                out.dataFlips.push_back(lattice().dataIndex(rc));
         }
     }
-    return corr;
 }
 
 } // namespace nisqpp

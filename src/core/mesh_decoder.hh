@@ -63,6 +63,7 @@ class MeshDecoder : public Decoder
                 const MeshConfig &config = MeshConfig::finalDesign());
 
     Correction decode(const Syndrome &syndrome) override;
+    void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
     std::string name() const override
     {
@@ -94,6 +95,7 @@ class MeshDecoder : public Decoder
     bool planesEmpty(const Planes &planes) const;
     void shiftPlanes(const Planes &out, Planes &in) const;
     void step();
+    void decodeImpl(const Syndrome &syndrome, Correction &out);
 
     MeshConfig config_;
     int span_;      ///< grid size + 2 (boundary ring included)

@@ -12,23 +12,51 @@ constexpr long kInf = std::numeric_limits<long>::max() / 4;
 } // namespace
 
 BlossomMatcher::BlossomMatcher(int n)
-    : n_(n), nx_(n), cap_(n + n / 2 + 2)
+{
+    reset(n);
+}
+
+void
+BlossomMatcher::reset(int n)
 {
     require(n >= 0, "BlossomMatcher: negative size");
-    g_.assign(cap_ + 1, std::vector<Edge>(cap_ + 1));
-    for (int u = 0; u <= cap_; ++u)
-        for (int v = 0; v <= cap_; ++v)
-            g_[u][v] = Edge{u, v, 0};
-    lab_.assign(cap_ + 1, 0);
-    match_.assign(cap_ + 1, 0);
-    slack_.assign(cap_ + 1, 0);
-    st_.assign(cap_ + 1, 0);
-    pa_.assign(cap_ + 1, 0);
-    s_.assign(cap_ + 1, -1);
-    vis_.assign(cap_ + 1, 0);
-    flowerFrom_.assign(cap_ + 1, std::vector<int>(n_ + 1, 0));
-    flower_.assign(cap_ + 1, {});
-    userWeight_.assign(n, std::vector<long>(n, kAbsent));
+    n_ = n;
+    nx_ = n;
+    cap_ = n + n / 2 + 2;
+
+    if (cap_ > alloc_) {
+        // Grow everything to the new high-water mark. The Edge matrix
+        // is seeded with {u, v, 0} exactly once per growth: solve()
+        // refills the real-vertex block and addBlossom() rewrites any
+        // blossom-row entry before reading it, so stale values from
+        // earlier instances are never observed.
+        g_.assign(cap_ + 1, std::vector<Edge>(cap_ + 1));
+        for (int u = 0; u <= cap_; ++u)
+            for (int v = 0; v <= cap_; ++v)
+                g_[u][v] = Edge{u, v, 0};
+        lab_.assign(cap_ + 1, 0);
+        match_.assign(cap_ + 1, 0);
+        slack_.assign(cap_ + 1, 0);
+        st_.assign(cap_ + 1, 0);
+        pa_.assign(cap_ + 1, 0);
+        s_.assign(cap_ + 1, -1);
+        vis_.assign(cap_ + 1, 0);
+        flowerFrom_.assign(cap_ + 1, std::vector<int>(n_ + 1, 0));
+        flower_.assign(cap_ + 1, {});
+        visitStamp_ = 0;
+        alloc_ = cap_;
+    } else {
+        // Arrays are big enough; only widen the flowerFrom_ rows when a
+        // larger real-vertex count needs them.
+        for (auto &row : flowerFrom_)
+            if (static_cast<int>(row.size()) < n_ + 1)
+                row.assign(n_ + 1, 0);
+    }
+
+    // User weights start absent for every instance.
+    userWeight_.resize(n_);
+    for (auto &row : userWeight_)
+        row.assign(n_, kAbsent);
 }
 
 void

@@ -21,7 +21,10 @@ namespace nisqpp {
 
 /**
  * Dense blossom matcher. Build with the number of vertices, set weights,
- * then solve. Vertex indices are 0-based externally.
+ * then solve. Vertex indices are 0-based externally. A matcher is
+ * reusable: reset(n) rebinds it to a new instance size, reusing the
+ * internal arrays whenever they are already large enough (the trial
+ * workspace keeps one matcher alive across all decodes of a thread).
  */
 class BlossomMatcher
 {
@@ -29,8 +32,17 @@ class BlossomMatcher
     /** Edge weights are long integers; "absent" edges use kAbsent. */
     static constexpr long kAbsent = -1;
 
+    /** Empty matcher; reset() before use. */
+    BlossomMatcher() = default;
+
     /** @param n Number of vertices (must be even for a perfect matching). */
     explicit BlossomMatcher(int n);
+
+    /**
+     * Rebind to @p n vertices with all edges absent, growing the
+     * internal arrays only when @p n exceeds every previous size.
+     */
+    void reset(int n);
 
     /** Set the weight of undirected edge (u, v); kAbsent removes it. */
     void setWeight(int u, int v, long w);
@@ -67,17 +79,23 @@ class BlossomMatcher
     bool onFoundEdge(const Edge &e);
     bool matchingPhase();
 
-    int n_;      ///< real vertices (1-based internally)
-    int nx_;     ///< current id bound including blossoms
-    int cap_;    ///< maximum vertex id (n + n/2 + 1)
+    int n_ = 0;      ///< real vertices (1-based internally)
+    int nx_ = 0;     ///< current id bound including blossoms
+    int cap_ = 0;    ///< maximum vertex id (n + n/2 + 1)
+    int alloc_ = -1; ///< largest cap_ the arrays were ever sized for
     std::vector<std::vector<Edge>> g_;
     std::vector<long> lab_;
-    std::vector<int> match_, slack_, st_, pa_, s_, vis_;
+    std::vector<int> match_, slack_, st_, pa_, s_;
+    // 64-bit visit stamps: one matcher now lives in a per-thread
+    // workspace for the whole run, and getLca() bumps the stamp on
+    // every call — a 32-bit counter could wrap after hours of decodes
+    // and alias a stale entry.
+    std::vector<std::int64_t> vis_;
     std::vector<std::vector<int>> flowerFrom_;
     std::vector<std::vector<int>> flower_;
     std::vector<int> queue_;
     std::size_t qHead_ = 0;
-    int visitStamp_ = 0;
+    std::int64_t visitStamp_ = 0;
     std::vector<std::vector<long>> userWeight_;
 };
 

@@ -1,0 +1,13 @@
+#include "decoders/decoder.hh"
+
+#include "decoders/workspace.hh"
+
+namespace nisqpp {
+
+void
+Decoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
+{
+    ws.correction = decode(syndrome);
+}
+
+} // namespace nisqpp

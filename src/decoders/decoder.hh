@@ -17,10 +17,15 @@
 
 namespace nisqpp {
 
+class TrialWorkspace;
+
 /** A decoder's output: data-qubit flips of the decoded error type. */
 struct Correction
 {
     std::vector<int> dataFlips; ///< compact data indices, XOR semantics
+
+    /** Drop the flips but keep the buffer's capacity (reuse). */
+    void clear() { dataFlips.clear(); }
 
     /** Apply onto an error state (composition = residual computation). */
     void
@@ -49,6 +54,15 @@ class Decoder
 
     /** Decode @p syndrome into a correction. */
     virtual Correction decode(const Syndrome &syndrome) = 0;
+
+    /**
+     * Workspace-aware overload: decode @p syndrome into
+     * @p ws.correction, borrowing every scratch buffer from @p ws so
+     * repeated decodes allocate nothing. Produces exactly the same
+     * correction as decode(syndrome); the default implementation
+     * forwards there for decoders without a tuned hot path.
+     */
+    virtual void decode(const Syndrome &syndrome, TrialWorkspace &ws);
 
     virtual std::string name() const = 0;
 

@@ -4,26 +4,33 @@
 #include <tuple>
 
 #include "decoders/path.hh"
+#include "decoders/workspace.hh"
 
 namespace nisqpp {
 
 Correction
 GreedyDecoder::decode(const Syndrome &syndrome)
 {
+    // Legacy allocation-per-call entry point; the engine loop passes a
+    // persistent per-thread workspace instead.
+    TrialWorkspace ws;
+    decode(syndrome, ws);
+    return std::move(ws.correction);
+}
+
+void
+GreedyDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
+{
     pairs_.clear();
-    Correction corr;
-    const MatchingGraph graph(lattice(), type(), syndrome);
+    ws.correction.clear();
+    ws.graph.build(lattice(), type(), syndrome);
+    const MatchingGraph &graph = ws.graph;
     const int k = graph.numNodes();
     if (k == 0)
-        return corr;
+        return;
 
-    struct Candidate
-    {
-        int w;
-        int i;
-        int j; ///< -1 encodes the boundary edge of node i
-    };
-    std::vector<Candidate> edges;
+    std::vector<WeightedEdge> &edges = ws.greedyEdges;
+    edges.clear();
     edges.reserve(static_cast<std::size_t>(k) * (k + 1) / 2);
     for (int i = 0; i < k; ++i) {
         for (int j = i + 1; j < k; ++j)
@@ -33,37 +40,35 @@ GreedyDecoder::decode(const Syndrome &syndrome)
     // Ascending distance = descending likelihood; deterministic
     // tie-breaking by node indices (boundary edges lose ties so that
     // syndrome-syndrome pairings are preferred at equal length).
-    auto key = [k](const Candidate &c) {
+    auto key = [k](const WeightedEdge &c) {
         return std::tuple<int, int, int>(c.w, c.i, c.j == -1 ? k : c.j);
     };
     std::sort(edges.begin(), edges.end(),
-              [&key](const Candidate &a, const Candidate &b) {
+              [&key](const WeightedEdge &a, const WeightedEdge &b) {
                   return key(a) < key(b);
               });
 
-    std::vector<char> matched(k, 0);
+    std::vector<char> &matched = ws.matched;
+    matched.assign(k, 0);
     for (const auto &e : edges) {
         if (matched[e.i])
             continue;
         if (e.j == -1) {
             matched[e.i] = 1;
             pairs_.push_back({graph.ancillaOf(e.i), -1, true});
-            const auto leg =
-                chainToBoundary(lattice(), type(), graph.ancillaOf(e.i));
-            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
-                                  leg.end());
+            appendChainToBoundary(lattice(), type(),
+                                  graph.ancillaOf(e.i),
+                                  ws.correction.dataFlips);
         } else if (!matched[e.j]) {
             matched[e.i] = matched[e.j] = 1;
             pairs_.push_back({graph.ancillaOf(e.i), graph.ancillaOf(e.j),
                               false});
-            const auto leg = chainBetweenAncillas(
-                lattice(), type(), graph.ancillaOf(e.i),
-                graph.ancillaOf(e.j));
-            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
-                                  leg.end());
+            appendChainBetweenAncillas(lattice(), type(),
+                                       graph.ancillaOf(e.i),
+                                       graph.ancillaOf(e.j),
+                                       ws.correction.dataFlips);
         }
     }
-    return corr;
 }
 
 } // namespace nisqpp

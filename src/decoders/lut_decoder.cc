@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "decoders/workspace.hh"
 
 namespace nisqpp {
 
@@ -52,12 +53,19 @@ LutDecoder::syndromeKey(const Syndrome &syndrome) const
 Correction
 LutDecoder::decode(const Syndrome &syndrome)
 {
-    Correction corr;
+    TrialWorkspace ws;
+    decode(syndrome, ws);
+    return std::move(ws.correction);
+}
+
+void
+LutDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
+{
+    ws.correction.clear();
     const std::uint32_t pattern = table_.at(syndromeKey(syndrome));
     for (int d = 0; d < lattice().numData(); ++d)
         if ((pattern >> d) & 1u)
-            corr.dataFlips.push_back(d);
-    return corr;
+            ws.correction.dataFlips.push_back(d);
 }
 
 } // namespace nisqpp

@@ -28,6 +28,7 @@ class LutDecoder : public Decoder
     LutDecoder(const SurfaceLattice &lattice, ErrorType type);
 
     Correction decode(const Syndrome &syndrome) override;
+    void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
     std::string name() const override { return "lut"; }
 

@@ -6,25 +6,22 @@ namespace nisqpp {
 
 MatchingGraph::MatchingGraph(const SurfaceLattice &lattice, ErrorType type,
                              const Syndrome &syndrome)
-    : lattice_(&lattice), type_(type), nodes_(syndrome.hotList())
+{
+    build(lattice, type, syndrome);
+}
+
+void
+MatchingGraph::build(const SurfaceLattice &lattice, ErrorType type,
+                     const Syndrome &syndrome)
 {
     require(syndrome.type() == type, "MatchingGraph: type mismatch");
+    lattice_ = &lattice;
+    type_ = type;
+    syndrome.hotListInto(nodes_);
+    boundaryDist_.clear();
     boundaryDist_.reserve(nodes_.size());
     for (int a : nodes_)
         boundaryDist_.push_back(lattice.ancillaBoundaryDistance(type, a));
-}
-
-int
-MatchingGraph::pairWeight(int i, int j) const
-{
-    return lattice_->ancillaGraphDistance(type_, nodes_.at(i),
-                                          nodes_.at(j));
-}
-
-int
-MatchingGraph::boundaryWeight(int i) const
-{
-    return boundaryDist_.at(i);
 }
 
 long

@@ -25,30 +25,61 @@ struct MatchPair
     bool toBoundary;///< whether @p a pairs with its nearest boundary
 };
 
-/** Materialized matching instance for one syndrome. */
+/**
+ * Materialized matching instance for one syndrome. Reusable: a
+ * default-constructed graph lives in the trial workspace and build()
+ * refills it per decode without shedding buffer capacity.
+ */
 class MatchingGraph
 {
   public:
+    /** Empty graph; build() before use. */
+    MatchingGraph() = default;
+
     MatchingGraph(const SurfaceLattice &lattice, ErrorType type,
                   const Syndrome &syndrome);
 
+    /** (Re)materialize for @p syndrome, reusing internal buffers. */
+    void build(const SurfaceLattice &lattice, ErrorType type,
+               const Syndrome &syndrome);
+
     int numNodes() const { return static_cast<int>(nodes_.size()); }
 
-    /** Compact ancilla index of node @p i. */
-    int ancillaOf(int i) const { return nodes_.at(i); }
+    /** Compact ancilla index of node @p i (hot path, DCHECKed). */
+    int
+    ancillaOf(int i) const
+    {
+        NISQPP_DCHECK(i >= 0 && i < numNodes(),
+                      "MatchingGraph::ancillaOf: node out of range");
+        return nodes_[i];
+    }
 
     /** Chain length (number of data errors) between nodes i and j. */
-    int pairWeight(int i, int j) const;
+    int
+    pairWeight(int i, int j) const
+    {
+        NISQPP_DCHECK(i >= 0 && i < numNodes() && j >= 0 &&
+                          j < numNodes(),
+                      "MatchingGraph::pairWeight: node out of range");
+        return lattice_->ancillaGraphDistance(type_, nodes_[i],
+                                              nodes_[j]);
+    }
 
     /** Chain length from node @p i to its nearest valid boundary. */
-    int boundaryWeight(int i) const;
+    int
+    boundaryWeight(int i) const
+    {
+        NISQPP_DCHECK(i >= 0 && i < numNodes(),
+                      "MatchingGraph::boundaryWeight: node out of range");
+        return boundaryDist_[i];
+    }
 
     /** Total weight of a matching (pairs + boundary legs). */
     long totalWeight(const std::vector<MatchPair> &pairs) const;
 
   private:
-    const SurfaceLattice *lattice_;
-    ErrorType type_;
+    const SurfaceLattice *lattice_ = nullptr;
+    ErrorType type_ = ErrorType::Z;
     std::vector<int> nodes_;
     std::vector<int> boundaryDist_;
 };

@@ -1,23 +1,35 @@
 #include "decoders/mwpm_decoder.hh"
 
 #include "common/logging.hh"
-#include "decoders/blossom.hh"
 #include "decoders/path.hh"
+#include "decoders/workspace.hh"
 
 namespace nisqpp {
 
 Correction
 MwpmDecoder::decode(const Syndrome &syndrome)
 {
+    // Legacy allocation-per-call entry point; the engine loop passes a
+    // persistent per-thread workspace instead.
+    TrialWorkspace ws;
+    decode(syndrome, ws);
+    return std::move(ws.correction);
+}
+
+void
+MwpmDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
+{
     pairs_.clear();
-    Correction corr;
-    const MatchingGraph graph(lattice(), type(), syndrome);
+    ws.correction.clear();
+    ws.graph.build(lattice(), type(), syndrome);
+    const MatchingGraph &graph = ws.graph;
     const int k = graph.numNodes();
     if (k == 0)
-        return corr;
+        return;
 
     // Nodes 0..k-1 are syndromes; k..2k-1 their private boundary nodes.
-    BlossomMatcher matcher(2 * k);
+    BlossomMatcher &matcher = ws.matcher;
+    matcher.reset(2 * k);
     for (int i = 0; i < k; ++i) {
         for (int j = i + 1; j < k; ++j)
             matcher.setWeight(i, j, graph.pairWeight(i, j));
@@ -25,28 +37,24 @@ MwpmDecoder::decode(const Syndrome &syndrome)
         for (int j = i + 1; j < k; ++j)
             matcher.setWeight(k + i, k + j, 0);
     }
-    std::vector<int> mate;
-    matcher.solve(mate);
+    matcher.solve(ws.mate);
 
     for (int i = 0; i < k; ++i) {
-        const int m = mate[i];
+        const int m = ws.mate[i];
         require(m >= 0, "MwpmDecoder: unmatched node");
         if (m == k + i) {
             pairs_.push_back({graph.ancillaOf(i), -1, true});
-            const auto leg =
-                chainToBoundary(lattice(), type(), graph.ancillaOf(i));
-            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
-                                  leg.end());
+            appendChainToBoundary(lattice(), type(), graph.ancillaOf(i),
+                                  ws.correction.dataFlips);
         } else if (m < k && m > i) {
             pairs_.push_back({graph.ancillaOf(i), graph.ancillaOf(m),
                               false});
-            const auto leg = chainBetweenAncillas(
-                lattice(), type(), graph.ancillaOf(i), graph.ancillaOf(m));
-            corr.dataFlips.insert(corr.dataFlips.end(), leg.begin(),
-                                  leg.end());
+            appendChainBetweenAncillas(lattice(), type(),
+                                       graph.ancillaOf(i),
+                                       graph.ancillaOf(m),
+                                       ws.correction.dataFlips);
         }
     }
-    return corr;
 }
 
 } // namespace nisqpp

@@ -24,6 +24,7 @@ class MwpmDecoder : public Decoder
     {}
 
     Correction decode(const Syndrome &syndrome) override;
+    void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
     std::string name() const override { return "mwpm"; }
 

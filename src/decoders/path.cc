@@ -36,39 +36,53 @@ std::vector<int>
 chainBetweenAncillas(const SurfaceLattice &lattice, ErrorType type, int a,
                      int b)
 {
-    const Coord ca = lattice.ancillaCoord(type, a);
-    const Coord cb = lattice.ancillaCoord(type, b);
     std::vector<int> chain;
-    // Horizontal leg on a's row to b's column, then vertical leg on b's
-    // column: the same L shape the mesh decoder's corner pairing traces.
-    appendHorizontalLeg(lattice, ca.row, ca.col, cb.col, chain);
-    appendVerticalLeg(lattice, cb.col, ca.row, cb.row, chain);
+    appendChainBetweenAncillas(lattice, type, a, b, chain);
     return chain;
 }
 
 std::vector<int>
 chainToBoundary(const SurfaceLattice &lattice, ErrorType type, int a)
 {
+    std::vector<int> chain;
+    appendChainToBoundary(lattice, type, a, chain);
+    return chain;
+}
+
+void
+appendChainBetweenAncillas(const SurfaceLattice &lattice, ErrorType type,
+                           int a, int b, std::vector<int> &out)
+{
+    const Coord ca = lattice.ancillaCoord(type, a);
+    const Coord cb = lattice.ancillaCoord(type, b);
+    // Horizontal leg on a's row to b's column, then vertical leg on b's
+    // column: the same L shape the mesh decoder's corner pairing traces.
+    appendHorizontalLeg(lattice, ca.row, ca.col, cb.col, out);
+    appendVerticalLeg(lattice, cb.col, ca.row, cb.row, out);
+}
+
+void
+appendChainToBoundary(const SurfaceLattice &lattice, ErrorType type,
+                      int a, std::vector<int> &out)
+{
     const Coord ca = lattice.ancillaCoord(type, a);
     const int n = lattice.gridSize();
-    std::vector<int> chain;
     if (type == ErrorType::Z) {
         // Chains terminate west/east.
         const int west = (ca.col + 1) / 2;
         const int east = (n - ca.col) / 2;
         if (west <= east)
-            appendHorizontalLeg(lattice, ca.row, ca.col, -1, chain);
+            appendHorizontalLeg(lattice, ca.row, ca.col, -1, out);
         else
-            appendHorizontalLeg(lattice, ca.row, ca.col, n, chain);
+            appendHorizontalLeg(lattice, ca.row, ca.col, n, out);
     } else {
         const int north = (ca.row + 1) / 2;
         const int south = (n - ca.row) / 2;
         if (north <= south)
-            appendVerticalLeg(lattice, ca.col, ca.row, -1, chain);
+            appendVerticalLeg(lattice, ca.col, ca.row, -1, out);
         else
-            appendVerticalLeg(lattice, ca.col, ca.row, n, chain);
+            appendVerticalLeg(lattice, ca.col, ca.row, n, out);
     }
-    return chain;
 }
 
 } // namespace nisqpp

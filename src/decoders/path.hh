@@ -32,6 +32,18 @@ std::vector<int> chainBetweenAncillas(const SurfaceLattice &lattice,
 std::vector<int> chainToBoundary(const SurfaceLattice &lattice,
                                  ErrorType type, int a);
 
+/**
+ * Allocation-free variants: append the chain's data qubits to @p out
+ * (typically a workspace correction buffer) in the same order as the
+ * returning forms. @{
+ */
+void appendChainBetweenAncillas(const SurfaceLattice &lattice,
+                                ErrorType type, int a, int b,
+                                std::vector<int> &out);
+void appendChainToBoundary(const SurfaceLattice &lattice, ErrorType type,
+                           int a, std::vector<int> &out);
+/** @} */
+
 } // namespace nisqpp
 
 #endif // NISQPP_DECODERS_PATH_HH

@@ -1,9 +1,9 @@
 #include "decoders/union_find_decoder.hh"
 
 #include <algorithm>
-#include <queue>
 
 #include "common/logging.hh"
+#include "decoders/workspace.hh"
 
 namespace nisqpp {
 
@@ -40,82 +40,105 @@ UnionFindDecoder::UnionFindDecoder(const SurfaceLattice &lattice,
     }
 }
 
-int
-UnionFindDecoder::find(int v)
-{
-    while (parent_[v] != v) {
-        parent_[v] = parent_[parent_[v]];
-        v = parent_[v];
-    }
-    return v;
-}
-
-void
-UnionFindDecoder::unite(int a, int b)
-{
-    a = find(a);
-    b = find(b);
-    if (a == b)
-        return;
-    if (rank_[a] < rank_[b])
-        std::swap(a, b);
-    parent_[b] = a;
-    if (rank_[a] == rank_[b])
-        ++rank_[a];
-    parity_[a] ^= parity_[b];
-    boundary_[a] |= boundary_[b];
-}
-
 Correction
 UnionFindDecoder::decode(const Syndrome &syndrome)
 {
-    Correction corr;
+    // Legacy allocation-per-call entry point; the engine loop passes a
+    // persistent per-thread workspace instead.
+    TrialWorkspace ws;
+    decode(syndrome, ws);
+    return std::move(ws.correction);
+}
+
+void
+UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
+{
+    ws.correction.clear();
     lastRounds_ = 0;
     if (syndrome.weight() == 0)
-        return corr;
+        return;
 
-    parent_.resize(numVertices_);
-    rank_.assign(numVertices_, 0);
-    parity_.assign(numVertices_, 0);
-    boundary_.assign(numVertices_, 0);
+    auto &parent = ws.ufParent;
+    auto &rank = ws.ufRank;
+    auto &parity = ws.ufParity;
+    auto &boundary = ws.ufBoundary;
+    parent.resize(numVertices_);
+    rank.assign(numVertices_, 0);
+    parity.assign(numVertices_, 0);
+    boundary.assign(numVertices_, 0);
     for (int v = 0; v < numVertices_; ++v)
-        parent_[v] = v;
+        parent[v] = v;
     for (int v = numAncillaVertices_; v < numVertices_; ++v)
-        boundary_[v] = 1;
-    for (int a = 0; a < numAncillaVertices_; ++a)
-        parity_[a] = syndrome.hot(a);
+        boundary[v] = 1;
+    syndrome.forEachHot([&parity](int a) { parity[a] = 1; });
+
+    auto find = [&parent](int v) {
+        while (parent[v] != v) {
+            parent[v] = parent[parent[v]];
+            v = parent[v];
+        }
+        return v;
+    };
+    auto unite = [&](int a, int b) {
+        a = find(a);
+        b = find(b);
+        if (a == b)
+            return;
+        if (rank[a] < rank[b])
+            std::swap(a, b);
+        parent[b] = a;
+        if (rank[a] == rank[b])
+            ++rank[a];
+        parity[a] ^= parity[b];
+        boundary[a] |= boundary[b];
+    };
 
     // Cluster growth: odd non-boundary clusters add half-edge support to
     // all edges on their border each round; edges with full support merge
-    // their endpoints.
-    std::vector<char> support(edges_.size(), 0);
-    auto clusterActive = [&](int v) {
-        const int r = find(v);
-        return parity_[r] && !boundary_[r];
-    };
+    // their endpoints. Only cluster members can sit on an active border,
+    // and every member is a hot seed or an endpoint of a previously
+    // grown edge — so each round scans just that candidate frontier
+    // instead of the whole lattice graph. Support increments, growth
+    // rounds and the final erasure are identical to the full-graph scan
+    // (each active endpoint contributes one half edge either way); the
+    // retained reference decoder in the tests pins this bit for bit.
+    auto &support = ws.ufSupport;
+    auto &candidates = ws.ufCandidates;
+    auto &stamp = ws.ufStamp;
+    auto &grown = ws.ufGrown;
+    support.assign(edges_.size(), 0);
+    stamp.assign(numVertices_, 0);
+    candidates.clear();
+    syndrome.forEachHot([&candidates](int a) { candidates.push_back(a); });
 
     for (;;) {
         bool any_active = false;
-        std::vector<int> grown;
-        for (std::size_t e = 0; e < edges_.size(); ++e) {
-            if (support[e] >= 2)
+        grown.clear();
+        const int round_stamp = lastRounds_ + 1;
+        for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+            const int v = candidates[ci];
+            if (stamp[v] == round_stamp)
                 continue;
-            const bool a_act = clusterActive(edges_[e].u);
-            const bool b_act = clusterActive(edges_[e].v);
-            const int inc = (a_act ? 1 : 0) + (b_act ? 1 : 0);
-            if (inc == 0)
+            stamp[v] = round_stamp;
+            const int r = find(v);
+            if (!parity[r] || boundary[r])
                 continue;
-            any_active = true;
-            support[e] = static_cast<char>(
-                std::min(2, support[e] + inc));
-            if (support[e] >= 2)
-                grown.push_back(static_cast<int>(e));
+            for (int e : incident_[v]) {
+                if (support[e] >= 2)
+                    continue;
+                any_active = true;
+                if (++support[e] >= 2)
+                    grown.push_back(e);
+            }
         }
         if (!any_active)
             break;
         ++lastRounds_;
-        for (int e : grown)
+        for (int e : grown) {
             unite(edges_[e].u, edges_[e].v);
+            candidates.push_back(edges_[e].u);
+            candidates.push_back(edges_[e].v);
+        }
         require(lastRounds_ <= 4 * lattice().gridSize() + 8,
                 "UnionFindDecoder: growth failed to converge");
     }
@@ -123,22 +146,41 @@ UnionFindDecoder::decode(const Syndrome &syndrome)
     // Peeling on the erasure (fully grown edges): build a BFS forest per
     // cluster rooted at a boundary vertex when available, then peel from
     // the leaves inward, flipping tree edges below hot vertices.
-    std::vector<char> hot(numVertices_, 0);
-    for (int a = 0; a < numAncillaVertices_; ++a)
-        hot[a] = syndrome.hot(a);
+    //
+    // Only erasure vertices matter here, and after the growth loop the
+    // candidate list contains exactly the hot seeds plus every grown
+    // edge's endpoints — i.e. the whole erasure (every hot vertex ends
+    // incident to a full edge). Deduplicate and sort it so the forest
+    // roots are chosen in the same ascending boundary-then-ancilla
+    // order as a whole-graph scan would.
+    auto &hot = ws.ufHot;
+    hot.assign(numVertices_, 0);
+    syndrome.forEachHot([&hot](int a) { hot[a] = 1; });
 
-    std::vector<int> parent_edge(numVertices_, -1);
-    std::vector<int> bfs_order;
-    std::vector<char> visited(numVertices_, 0);
-    bfs_order.reserve(numVertices_);
+    auto &parent_edge = ws.ufParentEdge;
+    auto &bfs_order = ws.ufBfsOrder;
+    auto &visited = ws.ufVisited;
+    auto &queue = ws.ufQueue;
+    parent_edge.assign(numVertices_, -1);
+    bfs_order.clear();
+    visited.assign(numVertices_, 0);
+
+    auto &erasure = ws.ufGrown; // growth loop is done with it
+    erasure.clear();
+    for (int v : candidates)
+        if (stamp[v] != -1) {
+            stamp[v] = -1;
+            erasure.push_back(v);
+        }
+    std::sort(erasure.begin(), erasure.end());
 
     auto bfsFrom = [&](int root) {
-        std::queue<int> q;
-        q.push(root);
+        queue.clear();
+        std::size_t head = 0;
+        queue.push_back(root);
         visited[root] = 1;
-        while (!q.empty()) {
-            const int v = q.front();
-            q.pop();
+        while (head < queue.size()) {
+            const int v = queue[head++];
             bfs_order.push_back(v);
             for (int e : incident_[v]) {
                 if (support[e] < 2)
@@ -149,17 +191,17 @@ UnionFindDecoder::decode(const Syndrome &syndrome)
                     continue;
                 visited[w] = 1;
                 parent_edge[w] = e;
-                q.push(w);
+                queue.push_back(w);
             }
         }
     };
 
     // Boundary roots first so leftover parity drains into boundaries.
-    for (int v = numAncillaVertices_; v < numVertices_; ++v)
-        if (!visited[v])
+    for (int v : erasure)
+        if (v >= numAncillaVertices_ && !visited[v])
             bfsFrom(v);
-    for (int v = 0; v < numAncillaVertices_; ++v)
-        if (!visited[v])
+    for (int v : erasure)
+        if (v < numAncillaVertices_ && !visited[v])
             bfsFrom(v);
 
     for (std::size_t i = bfs_order.size(); i-- > 0;) {
@@ -168,7 +210,7 @@ UnionFindDecoder::decode(const Syndrome &syndrome)
             continue;
         const GraphEdge &e = edges_[parent_edge[v]];
         const int p = e.u == v ? e.v : e.u;
-        corr.dataFlips.push_back(e.dataIdx);
+        ws.correction.dataFlips.push_back(e.dataIdx);
         hot[v] = 0;
         hot[p] ^= 1;
     }
@@ -179,7 +221,6 @@ UnionFindDecoder::decode(const Syndrome &syndrome)
     for (int v = 0; v < numAncillaVertices_; ++v)
         require(!hot[v],
                 "UnionFindDecoder: peeling left a hot interior vertex");
-    return corr;
 }
 
 } // namespace nisqpp

@@ -21,6 +21,7 @@ class UnionFindDecoder : public Decoder
     UnionFindDecoder(const SurfaceLattice &lattice, ErrorType type);
 
     Correction decode(const Syndrome &syndrome) override;
+    void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
     std::string name() const override { return "union-find"; }
 
@@ -35,21 +36,13 @@ class UnionFindDecoder : public Decoder
         int dataIdx; ///< data qubit flipped by this edge
     };
 
-    int find(int v);
-    void unite(int a, int b);
-
     // Static decoding graph: ancilla vertices then virtual boundary
-    // vertices (one per boundary-adjacent ancilla).
+    // vertices (one per boundary-adjacent ancilla). All per-decode
+    // state lives in the caller's TrialWorkspace.
     std::vector<GraphEdge> edges_;
     std::vector<std::vector<int>> incident_; ///< vertex -> edge ids
     int numAncillaVertices_ = 0;
     int numVertices_ = 0;
-
-    // Per-decode state.
-    std::vector<int> parent_;
-    std::vector<int> rank_;
-    std::vector<char> parity_;   ///< per root: odd hot count
-    std::vector<char> boundary_; ///< per root: touches a boundary vertex
     int lastRounds_ = 0;
 };
 

@@ -117,6 +117,9 @@ scenarioRegistry()
         {"micro_decoders",
          "decoder throughput shoot-out through the sharded engine",
          microDecoders},
+        {"micro_hotpath",
+         "tracked per-trial hot-path benchmark (BENCH_hotpath.json)",
+         microHotpath},
     };
     return registry;
 }

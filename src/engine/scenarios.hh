@@ -30,6 +30,7 @@ void fig10Cycles(ScenarioContext &ctx);
 void table4Latency(ScenarioContext &ctx);
 void table5Fit(ScenarioContext &ctx);
 void microDecoders(ScenarioContext &ctx);
+void microHotpath(ScenarioContext &ctx);
 /** @} */
 
 } // namespace scenarios

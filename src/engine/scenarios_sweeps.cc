@@ -242,6 +242,107 @@ table5Fit(ScenarioContext &ctx)
 }
 
 void
+microHotpath(ScenarioContext &ctx)
+{
+    ctx.note("=== micro_hotpath: per-trial hot-path throughput ===");
+    ctx.note("(dephasing p = 5%, per-round protocol, fixed trial "
+             "budget, one cell per decoder x distance; identical "
+             "error streams per distance via shared cell seeds)\n");
+
+    struct Family
+    {
+        std::string name;
+        DecoderFactory factory;
+    };
+    const std::vector<Family> families{
+        {"union_find", unionFindDecoderFactory()},
+        {"mwpm", mwpmDecoderFactory()},
+        {"greedy", greedyDecoderFactory()},
+        {"sfq_mesh", meshDecoderFactory(MeshConfig::finalDesign())},
+    };
+    const std::vector<int> distances{3, 5, 7, 9};
+
+    // Fixed budgets, no early stop: wall time divides cleanly into
+    // per-decode cost. Every family at one distance reuses the same
+    // cell seed, so all decoders face identical syndrome streams.
+    const StopRule rule = ctx.scaled({4000, 4000, ~std::size_t{0}});
+    StopRule warmupRule;
+    warmupRule.minTrials = warmupRule.maxTrials =
+        std::min<std::size_t>(256, rule.maxTrials);
+    warmupRule.targetFailures = ~std::size_t{0};
+
+    std::vector<std::unique_ptr<SurfaceLattice>> lattices;
+    std::vector<std::uint64_t> cellSeeds;
+    Rng master(ctx.seed(0x407b47ULL));
+    for (int d : distances) {
+        lattices.push_back(std::make_unique<SurfaceLattice>(d));
+        Rng child = master.split();
+        cellSeeds.push_back(child.next());
+    }
+
+    TablePrinter env({"key", "value"});
+    env.addRow({"threads", std::to_string(ctx.engine().threads())});
+    env.addRow({"shard_trials",
+                std::to_string(ctx.engine().options().shardTrials)});
+    env.addRow({"trials_per_cell", std::to_string(rule.maxTrials)});
+#ifdef NDEBUG
+    env.addRow({"assertions", "off"});
+#else
+    env.addRow({"assertions", "on"});
+#endif
+    ctx.table("hotpath_env", env);
+
+    TablePrinter table({"decoder", "d", "trials", "PL", "host ms",
+                        "trials/s", "ns/decode"});
+    for (const Family &family : families) {
+        for (std::size_t di = 0; di < distances.size(); ++di) {
+            CellSpec spec;
+            spec.lattice = lattices[di].get();
+            spec.physicalRate = 0.05;
+            spec.seed = cellSeeds[di];
+            spec.factory = &family.factory;
+
+            spec.rule = warmupRule;
+            ctx.engine().runCell(spec); // fault in caches/buffers
+
+            // Best-of-N wall time: the minimum is the least-disturbed
+            // run, which is what a tracked benchmark should record on
+            // shared/noisy hosts. Results are seed-deterministic, so
+            // every repetition produces the same aggregates.
+            constexpr int kReps = 3;
+            spec.rule = rule;
+            MonteCarloResult cell;
+            double ms = 0.0;
+            for (int rep = 0; rep < kReps; ++rep) {
+                const auto start = std::chrono::steady_clock::now();
+                cell = ctx.engine().runCell(spec);
+                const double rep_ms = elapsedMs(start);
+                if (rep == 0 || rep_ms < ms)
+                    ms = rep_ms;
+            }
+
+            // Dephasing runs exactly one decode per trial.
+            const double per_decode_ns =
+                cell.trials ? ms * 1e6 / cell.trials : 0.0;
+            table.addRow(
+                {family.name, std::to_string(distances[di]),
+                 std::to_string(cell.trials),
+                 TablePrinter::num(cell.logicalErrorRate, 4),
+                 TablePrinter::num(ms, 4),
+                 TablePrinter::num(cell.trials / (ms / 1e3), 4),
+                 TablePrinter::num(per_decode_ns, 4)});
+        }
+    }
+    ctx.table("hotpath", table);
+
+    ctx.note("\nrefresh the tracked snapshot with: ./build/"
+             "micro_hotpath --threads 1 --format json > "
+             "BENCH_hotpath.json (compare against bench/"
+             "BENCH_hotpath_baseline.json, the pre-packed-substrate "
+             "run)");
+}
+
+void
 microDecoders(ScenarioContext &ctx)
 {
     ctx.note("=== micro_decoders: sharded engine throughput ===");

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/logging.hh"
+#include "decoders/workspace.hh"
 #include "engine/thread_pool.hh"
 
 namespace nisqpp {
@@ -59,6 +60,11 @@ planShards(const StopRule &rule, std::size_t shardTrials,
 MonteCarloResult
 runShard(const CellSpec &spec, const Shard &shard)
 {
+    // One trial workspace per worker thread, warm across every shard
+    // (and cell) that thread ever runs: decoders borrow all scratch
+    // from it, so steady-state decoding performs no heap allocation.
+    static thread_local TrialWorkspace workspace;
+
     auto z_dec = (*spec.factory)(*spec.lattice, ErrorType::Z);
     std::unique_ptr<Decoder> x_dec;
     std::unique_ptr<ErrorModel> model;
@@ -69,7 +75,7 @@ runShard(const CellSpec &spec, const Shard &shard)
         model = std::make_unique<DephasingModel>(spec.physicalRate);
     }
     LifetimeSimulator sim(*spec.lattice, *model, *z_dec, x_dec.get(),
-                          shard.seed, spec.throughCircuits);
+                          shard.seed, spec.throughCircuits, &workspace);
     sim.setLifetimeMode(spec.lifetimeMode);
     StopRule fixed;
     fixed.minTrials = fixed.maxTrials = shard.trials;
@@ -84,8 +90,12 @@ runShard(const CellSpec &spec, const Shard &shard)
  * order; the holder of the mutex advances the merge frontier over the
  * contiguous prefix of finished shards, checking the stop rule after
  * each merge. Once the rule is satisfied at shard k the stop index is
- * published so not-yet-started shards past k can be skipped — they can
+ * published so not-yet-claimed shards past k are never run — they can
  * never affect the result, which is always the ordered prefix [0, k].
+ *
+ * Shards are claimed in index order through nextShard by a bounded set
+ * of pump chains (the wave), so an early-stopped cell never pays
+ * submit/queue churn for the rest of its trial budget.
  */
 struct Engine::CellRun
 {
@@ -96,6 +106,7 @@ struct Engine::CellRun
     std::size_t frontier = 0; ///< first shard not yet merged
     std::size_t stop = 0;     ///< shards >= stop are never merged
     std::atomic<std::size_t> stopHint{0};
+    std::atomic<std::size_t> nextShard{0}; ///< next index to claim
     std::mutex mutex;
 
     void onShardDone(std::size_t index, MonteCarloResult result)
@@ -134,6 +145,33 @@ Engine::threads() const
 }
 
 void
+Engine::pumpCell(CellRun &run)
+{
+    pool_->submit([this, &run] {
+        // Claim the next unstarted shard. Claims are sequential, so
+        // once the claim passes the published stop index every lower
+        // shard is already running or done and this chain can die —
+        // the remaining budget is never submitted at all.
+        const std::size_t i =
+            run.nextShard.fetch_add(1, std::memory_order_relaxed);
+        if (i >= run.shards.size() ||
+            i >= run.stopHint.load(std::memory_order_acquire))
+            return;
+        run.onShardDone(i, runShard(run.spec, run.shards[i]));
+        // Resubmitting before this task returns keeps the pool's
+        // in-flight count nonzero, so wait() cannot wake early. The
+        // chain dies once every shard below the (published) stop
+        // index has been claimed; a stop racing in after this check
+        // just makes the successor claim-and-exit.
+        const std::size_t limit =
+            std::min(run.shards.size(),
+                     run.stopHint.load(std::memory_order_acquire));
+        if (run.nextShard.load(std::memory_order_relaxed) < limit)
+            pumpCell(run);
+    });
+}
+
+void
 Engine::scheduleCell(const CellSpec &spec, CellRun &run)
 {
     require(spec.lattice && spec.factory,
@@ -143,15 +181,17 @@ Engine::scheduleCell(const CellSpec &spec, CellRun &run)
     run.pending.resize(run.shards.size());
     run.stop = run.shards.size();
     run.stopHint.store(run.shards.size(), std::memory_order_release);
-    for (std::size_t i = 0; i < run.shards.size(); ++i) {
-        pool_->submit([&run, i] {
-            // Shards at or past the published stop index can never be
-            // part of the merged prefix; skip the wasted work.
-            if (i >= run.stopHint.load(std::memory_order_acquire))
-                return;
-            run.onShardDone(i, runShard(run.spec, run.shards[i]));
-        });
-    }
+    run.nextShard.store(0, std::memory_order_release);
+
+    // Schedule the cell as a wave of claim chains instead of its whole
+    // shard budget: enough chains to keep every worker busy (2x the
+    // pool, so a finishing shard always finds a queued successor), but
+    // never more than the cell could use.
+    const std::size_t wave =
+        std::min(run.shards.size(),
+                 2 * static_cast<std::size_t>(pool_->threadCount()));
+    for (std::size_t i = 0; i < wave; ++i)
+        pumpCell(run);
 }
 
 MonteCarloResult

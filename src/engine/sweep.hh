@@ -7,6 +7,12 @@
  * seed (via Rng::split child streams) and the merge order is fixed, an
  * N-thread run produces byte-identical aggregates to a 1-thread run.
  *
+ * Shards are scheduled in waves (2x the worker count in flight per
+ * cell) rather than enqueueing a cell's whole maxTrials budget up
+ * front: each finished shard claims-and-submits its successor, so an
+ * early-stopped cell never pays submit/queue churn for shards that
+ * would only be skipped.
+ *
  * Protocol note: each shard runs its own LifetimeSimulator from a
  * clean lattice state. In lifetime mode a cell is therefore sampled
  * as independent logical-memory *segments* of shardTrials rounds
@@ -117,6 +123,7 @@ class Engine
     struct CellRun; ///< in-flight ordered-merge state of one cell
 
     void scheduleCell(const CellSpec &spec, CellRun &run);
+    void pumpCell(CellRun &run);
     static MonteCarloResult collectCell(CellRun &run);
 
     EngineOptions options_;

@@ -1,51 +1,53 @@
 #include "pauli/pauli_frame.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace nisqpp {
 
 PauliFrame::PauliFrame(std::size_t num_qubits)
-    : x_(num_qubits, 0), z_(num_qubits, 0)
+    : x_(num_qubits), z_(num_qubits)
 {
 }
 
 void
 PauliFrame::clear()
 {
-    std::fill(x_.begin(), x_.end(), 0);
-    std::fill(z_.begin(), z_.end(), 0);
+    x_.clear();
+    z_.clear();
 }
 
 void
 PauliFrame::reset(std::size_t q)
 {
     checkIndex(q);
-    x_[q] = 0;
-    z_[q] = 0;
+    x_.set(q, false);
+    z_.set(q, false);
 }
 
 void
 PauliFrame::inject(std::size_t q, Pauli p)
 {
     checkIndex(q);
-    x_[q] ^= static_cast<char>(hasX(p));
-    z_[q] ^= static_cast<char>(hasZ(p));
+    if (hasX(p))
+        x_.flip(q);
+    if (hasZ(p))
+        z_.flip(q);
 }
 
 Pauli
 PauliFrame::frame(std::size_t q) const
 {
     checkIndex(q);
-    return fromXZ(x_[q], z_[q]);
+    return fromXZ(x_.get(q), z_.get(q));
 }
 
 void
 PauliFrame::applyH(std::size_t q)
 {
     checkIndex(q);
-    std::swap(x_[q], z_[q]);
+    const bool x = x_.get(q);
+    x_.set(q, z_.get(q));
+    z_.set(q, x);
 }
 
 void
@@ -53,7 +55,8 @@ PauliFrame::applyS(std::size_t q)
 {
     checkIndex(q);
     // S X S^dag = Y: an X component gains a Z component.
-    z_[q] ^= x_[q];
+    if (x_.get(q))
+        z_.flip(q);
 }
 
 void
@@ -61,9 +64,11 @@ PauliFrame::applyCnot(std::size_t control, std::size_t target)
 {
     checkIndex(control);
     checkIndex(target);
-    require(control != target, "applyCnot: control == target");
-    x_[target] ^= x_[control];
-    z_[control] ^= z_[target];
+    NISQPP_DCHECK(control != target, "applyCnot: control == target");
+    if (x_.get(control))
+        x_.flip(target);
+    if (z_.get(target))
+        z_.flip(control);
 }
 
 void
@@ -71,25 +76,21 @@ PauliFrame::applyCz(std::size_t a, std::size_t b)
 {
     checkIndex(a);
     checkIndex(b);
-    require(a != b, "applyCz: identical operands");
-    z_[b] ^= x_[a];
-    z_[a] ^= x_[b];
+    NISQPP_DCHECK(a != b, "applyCz: identical operands");
+    if (x_.get(a))
+        z_.flip(b);
+    if (x_.get(b))
+        z_.flip(a);
 }
 
 bool
 PauliFrame::measureZ(std::size_t q)
 {
     checkIndex(q);
-    const bool flipped = x_[q];
-    x_[q] = 0;
-    z_[q] = 0;
+    const bool flipped = x_.get(q);
+    x_.set(q, false);
+    z_.set(q, false);
     return flipped;
-}
-
-void
-PauliFrame::checkIndex(std::size_t q) const
-{
-    require(q < x_.size(), "PauliFrame: qubit index out of range");
 }
 
 } // namespace nisqpp

@@ -4,17 +4,19 @@
  *
  * The stabilizer circuits of paper Fig. 3 are Clifford circuits; Pauli
  * errors injected anywhere propagate through them by conjugation. Tracking
- * only the Pauli frame (one X bit and one Z bit per qubit) reproduces the
- * measurement-outcome *flips* relative to the noiseless run, which is all
- * the error-correction substrate needs, in O(1) per gate.
+ * only the Pauli frame (one X bit and one Z bit per qubit, word-packed)
+ * reproduces the measurement-outcome *flips* relative to the noiseless
+ * run, which is all the error-correction substrate needs, in O(1) per
+ * gate — and lets mask-based consumers (the stabilizer circuit's
+ * measurement gather) reduce whole planes with AND/popcount.
  */
 
 #ifndef NISQPP_PAULI_PAULI_FRAME_HH
 #define NISQPP_PAULI_PAULI_FRAME_HH
 
 #include <cstddef>
-#include <vector>
 
+#include "common/packed_bits.hh"
 #include "pauli/pauli.hh"
 
 namespace nisqpp {
@@ -49,10 +51,23 @@ class PauliFrame
     Pauli frame(std::size_t q) const;
 
     /** Whether the frame on @p q has an X component. */
-    bool xBit(std::size_t q) const { return x_[q]; }
+    bool xBit(std::size_t q) const { return x_.get(q); }
 
     /** Whether the frame on @p q has a Z component. */
-    bool zBit(std::size_t q) const { return z_[q]; }
+    bool zBit(std::size_t q) const { return z_.get(q); }
+
+    /** Word-packed planes, for mask-based gathers. @{ */
+    const PackedBits &xPlane() const { return x_; }
+    const PackedBits &zPlane() const { return z_; }
+    /** @} */
+
+    /** Clear both components on every qubit set in @p mask. */
+    void
+    clearMasked(const PackedBits &mask)
+    {
+        x_.andNotWith(mask);
+        z_.andNotWith(mask);
+    }
 
     /** @name Clifford gate conjugations @{ */
     void applyH(std::size_t q);
@@ -72,10 +87,15 @@ class PauliFrame
     bool measureZ(std::size_t q);
 
   private:
-    void checkIndex(std::size_t q) const;
+    void
+    checkIndex(std::size_t q) const
+    {
+        NISQPP_DCHECK(q < x_.size(),
+                      "PauliFrame: qubit index out of range");
+    }
 
-    std::vector<char> x_;
-    std::vector<char> z_;
+    PackedBits x_;
+    PackedBits z_;
 };
 
 } // namespace nisqpp

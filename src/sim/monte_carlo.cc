@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "decoders/workspace.hh"
 
 namespace nisqpp {
 
@@ -80,53 +81,77 @@ LifetimeSimulator::LifetimeSimulator(const SurfaceLattice &lattice,
                                      const ErrorModel &model,
                                      Decoder &zDecoder, Decoder *xDecoder,
                                      std::uint64_t seed,
-                                     bool throughCircuits)
+                                     bool throughCircuits,
+                                     TrialWorkspace *workspace)
     : lattice_(lattice), model_(model), zDecoder_(zDecoder),
       xDecoder_(xDecoder), rng_(seed), throughCircuits_(throughCircuits),
-      circuit_(lattice), state_(lattice)
+      state_(lattice),
+      synZ_(lattice, ErrorType::Z), synX_(lattice, ErrorType::X),
+      ws_(workspace)
 {
+    if (throughCircuits_)
+        circuit_ = std::make_unique<StabilizerCircuit>(lattice);
     require(zDecoder.type() == ErrorType::Z,
             "LifetimeSimulator: zDecoder must decode Z errors");
     if (xDecoder_)
         require(xDecoder_->type() == ErrorType::X,
                 "LifetimeSimulator: xDecoder must decode X errors");
+    meshZ_ = dynamic_cast<MeshDecoder *>(&zDecoder_);
+    meshX_ = dynamic_cast<MeshDecoder *>(xDecoder_);
+    if (!ws_) {
+        owned_ = std::make_unique<TrialWorkspace>();
+        ws_ = owned_.get();
+    }
+}
+
+LifetimeSimulator::~LifetimeSimulator() = default;
+
+void
+LifetimeSimulator::recordMeshStats(Decoder &decoder,
+                                   MonteCarloResult &acc) const
+{
+    const MeshDecoder *mesh =
+        &decoder == &zDecoder_ ? meshZ_ : meshX_;
+    if (!mesh)
+        return;
+    const auto &stats = mesh->lastStats();
+    acc.cycles.add(stats.cycles);
+    if (acc.cycleHistogram.numBins() > 1)
+        acc.cycleHistogram.add(static_cast<std::size_t>(stats.cycles));
+}
+
+Syndrome &
+LifetimeSimulator::scratchSyndrome(ErrorType type)
+{
+    return type == ErrorType::Z ? synZ_ : synX_;
 }
 
 void
 LifetimeSimulator::decodeLifetime(ErrorType type, Decoder &decoder,
                                   MonteCarloResult &acc)
 {
-    const Syndrome syn = throughCircuits_
-                             ? circuit_.extract(state_, type)
-                             : extractSyndrome(state_, type);
-    const Correction corr = decoder.decode(syn);
-    corr.applyTo(state_, type);
-    if (auto *mesh = dynamic_cast<MeshDecoder *>(&decoder)) {
-        const auto &stats = mesh->lastStats();
-        acc.cycles.add(stats.cycles);
-        if (acc.cycleHistogram.numBins() > 1)
-            acc.cycleHistogram.add(
-                static_cast<std::size_t>(stats.cycles));
-    }
+    Syndrome &syn = scratchSyndrome(type);
+    if (throughCircuits_)
+        circuit_->extractInto(state_, type, syn);
+    else
+        extractSyndromeInto(state_, type, syn);
+    decoder.decode(syn, *ws_);
+    ws_->correction.applyTo(state_, type);
+    recordMeshStats(decoder, acc);
 }
 
 bool
 LifetimeSimulator::decodeFamily(ErrorType type, Decoder &decoder,
                                 ErrorState &state, MonteCarloResult &acc)
 {
-    const Syndrome syn = throughCircuits_
-                             ? circuit_.extract(state, type)
-                             : extractSyndrome(state, type);
-    const Correction corr = decoder.decode(syn);
-    corr.applyTo(state, type);
-
-    if (auto *mesh = dynamic_cast<MeshDecoder *>(&decoder)) {
-        const auto &stats = mesh->lastStats();
-        acc.cycles.add(stats.cycles);
-        if (acc.cycleHistogram.numBins() > 1)
-            acc.cycleHistogram.add(
-                static_cast<std::size_t>(stats.cycles));
-    }
+    Syndrome &syn = scratchSyndrome(type);
+    if (throughCircuits_)
+        circuit_->extractInto(state, type, syn);
+    else
+        extractSyndromeInto(state, type, syn);
+    decoder.decode(syn, *ws_);
+    ws_->correction.applyTo(state, type);
+    recordMeshStats(decoder, acc);
 
     const FailureReport report = classifyResidual(state, type);
     if (report.syndromeNonzero)

@@ -81,10 +81,17 @@ struct MonteCarloResult
     void finalize();
 };
 
+class TrialWorkspace;
+
 /**
  * Per-round, code-capacity lifetime simulator for one error type.
  * Dephasing noise exercises the Z-error path the paper evaluates; the
  * depolarizing channel runs both families through two decoders.
+ *
+ * The per-round hot path is allocation-free: syndromes are extracted
+ * into member scratch, decoders borrow buffers from a TrialWorkspace
+ * (the engine shares one per worker thread across shards; a simulator
+ * without one owns a private workspace).
  */
 class LifetimeSimulator
 {
@@ -98,11 +105,16 @@ class LifetimeSimulator
      * @param seed     Master RNG seed (deterministic reproduction).
      * @param throughCircuits Extract syndromes by running the Fig. 3
      *                 stabilizer circuits instead of direct parity.
+     * @param workspace Scratch shared with other simulators on the
+     *                 same thread; null = allocate a private one.
      */
     LifetimeSimulator(const SurfaceLattice &lattice,
                       const ErrorModel &model, Decoder &zDecoder,
                       Decoder *xDecoder, std::uint64_t seed,
-                      bool throughCircuits = false);
+                      bool throughCircuits = false,
+                      TrialWorkspace *workspace = nullptr);
+
+    ~LifetimeSimulator();
 
     /**
      * Select the Monte Carlo protocol. Per-round mode (default off)
@@ -127,6 +139,9 @@ class LifetimeSimulator
                       ErrorState &state, MonteCarloResult &acc);
     void decodeLifetime(ErrorType type, Decoder &decoder,
                         MonteCarloResult &acc);
+    void recordMeshStats(Decoder &decoder, MonteCarloResult &acc) const;
+
+    Syndrome &scratchSyndrome(ErrorType type);
 
     const SurfaceLattice &lattice_;
     const ErrorModel &model_;
@@ -135,8 +150,15 @@ class LifetimeSimulator
     Rng rng_;
     bool throughCircuits_;
     bool lifetimeMode_ = false;
-    StabilizerCircuit circuit_;
+    /** Built only for circuit-based extraction (it is not cheap). */
+    std::unique_ptr<StabilizerCircuit> circuit_;
+    MeshDecoder *meshZ_ = nullptr; ///< cached downcasts (telemetry)
+    MeshDecoder *meshX_ = nullptr;
     ErrorState state_;
+    Syndrome synZ_; ///< extraction scratch, Z-error family
+    Syndrome synX_; ///< extraction scratch, X-error family
+    TrialWorkspace *ws_;                 ///< borrowed (or owned_)
+    std::unique_ptr<TrialWorkspace> owned_;
     bool zParity_ = false; ///< lifetime-mode crossing parity trackers
     bool xParity_ = false;
 };

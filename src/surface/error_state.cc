@@ -1,40 +1,21 @@
 #include "surface/error_state.hh"
 
-#include <algorithm>
-
 #include "common/logging.hh"
 
 namespace nisqpp {
 
 ErrorState::ErrorState(const SurfaceLattice &lattice)
     : lattice_(&lattice),
-      x_(lattice.numData(), 0),
-      z_(lattice.numData(), 0)
+      x_(lattice.numData()),
+      z_(lattice.numData())
 {
 }
 
 void
 ErrorState::clear()
 {
-    std::fill(x_.begin(), x_.end(), 0);
-    std::fill(z_.begin(), z_.end(), 0);
-}
-
-void
-ErrorState::inject(int data_idx, Pauli p)
-{
-    require(data_idx >= 0 && data_idx < lattice_->numData(),
-            "ErrorState::inject: index out of range");
-    x_[data_idx] ^= static_cast<char>(hasX(p));
-    z_[data_idx] ^= static_cast<char>(hasZ(p));
-}
-
-void
-ErrorState::flip(ErrorType type, int data_idx)
-{
-    require(data_idx >= 0 && data_idx < lattice_->numData(),
-            "ErrorState::flip: index out of range");
-    mut(type)[data_idx] ^= 1;
+    x_.clear();
+    z_.clear();
 }
 
 void
@@ -42,47 +23,14 @@ ErrorState::compose(const ErrorState &other)
 {
     require(other.lattice_->distance() == lattice_->distance(),
             "ErrorState::compose: lattice mismatch");
-    for (std::size_t i = 0; i < x_.size(); ++i) {
-        x_[i] ^= other.x_[i];
-        z_[i] ^= other.z_[i];
-    }
+    x_.xorWith(other.x_);
+    z_.xorWith(other.z_);
 }
 
 Pauli
 ErrorState::at(int data_idx) const
 {
-    return fromXZ(x_.at(data_idx), z_.at(data_idx));
-}
-
-bool
-ErrorState::has(ErrorType type, int data_idx) const
-{
-    return bits(type).at(data_idx);
-}
-
-int
-ErrorState::weight(ErrorType type) const
-{
-    const auto &v = bits(type);
-    int w = 0;
-    for (char b : v)
-        w += b;
-    return w;
-}
-
-int
-ErrorState::weight() const
-{
-    int w = 0;
-    for (std::size_t i = 0; i < x_.size(); ++i)
-        w += (x_[i] | z_[i]);
-    return w;
-}
-
-const std::vector<char> &
-ErrorState::bits(ErrorType type) const
-{
-    return type == ErrorType::X ? x_ : z_;
+    return fromXZ(x_.test(data_idx), z_.test(data_idx));
 }
 
 } // namespace nisqpp

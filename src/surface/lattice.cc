@@ -65,6 +65,29 @@ SurfaceLattice::SurfaceLattice(int distance)
     for (int c = 0; c < n_; c += 2)
         logicalSupport_[typeSlot(ErrorType::X)]
             .push_back(dataIndexBySite_[siteIndex({0, c})]);
+
+    // Word-packed views of the adjacency and logical supports, so the
+    // per-trial hot paths (syndrome extraction, crossing parity) run as
+    // AND + popcount over a few words instead of per-neighbor loops.
+    for (int slot = 0; slot < 2; ++slot) {
+        stabilizerMask_[slot].resize(ancillaData_[slot].size());
+        for (std::size_t a = 0; a < ancillaData_[slot].size(); ++a) {
+            PackedBits &mask = stabilizerMask_[slot][a];
+            mask.resize(dataSites_.size());
+            for (int di : ancillaData_[slot][a])
+                mask.set(di, true);
+        }
+        dataIncidence_[slot].resize(dataSites_.size());
+        for (std::size_t di = 0; di < dataSites_.size(); ++di) {
+            PackedBits &mask = dataIncidence_[slot][di];
+            mask.resize(ancillaData_[slot].size());
+            for (int a : dataAncilla_[slot][di])
+                mask.set(a, true);
+        }
+        logicalMask_[slot].resize(dataSites_.size());
+        for (int di : logicalSupport_[slot])
+            logicalMask_[slot].set(di, true);
+    }
 }
 
 int
@@ -163,6 +186,33 @@ const std::vector<int> &
 SurfaceLattice::logicalDetectorSupport(ErrorType type) const
 {
     return logicalSupport_[typeSlot(type)];
+}
+
+const PackedBits &
+SurfaceLattice::stabilizerMask(ErrorType type, int idx) const
+{
+    NISQPP_DCHECK(
+        idx >= 0 &&
+            idx < static_cast<int>(stabilizerMask_[typeSlot(type)].size()),
+        "stabilizerMask: ancilla index out of range");
+    return stabilizerMask_[typeSlot(type)][idx];
+}
+
+const PackedBits &
+SurfaceLattice::logicalSupportMask(ErrorType type) const
+{
+    return logicalMask_[typeSlot(type)];
+}
+
+const PackedBits &
+SurfaceLattice::dataIncidenceMask(ErrorType type, int data_idx) const
+{
+    NISQPP_DCHECK(
+        data_idx >= 0 &&
+            data_idx <
+                static_cast<int>(dataIncidence_[typeSlot(type)].size()),
+        "dataIncidenceMask: data index out of range");
+    return dataIncidence_[typeSlot(type)][data_idx];
 }
 
 } // namespace nisqpp

@@ -19,6 +19,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/packed_bits.hh"
+
 namespace nisqpp {
 
 /** Role of a grid site. */
@@ -141,6 +143,25 @@ class SurfaceLattice
      */
     const std::vector<int> &logicalDetectorSupport(ErrorType type) const;
 
+    /**
+     * Data-qubit mask (numData() bits) of the stabilizer measured by
+     * ancilla @p idx of the family detecting @p type: the word-packed
+     * form of ancillaDataNeighbors(). Syndrome extraction is a single
+     * AND + popcount-parity against a numData()-bit error plane.
+     */
+    const PackedBits &stabilizerMask(ErrorType type, int idx) const;
+
+    /** Word-packed form of logicalDetectorSupport(). */
+    const PackedBits &logicalSupportMask(ErrorType type) const;
+
+    /**
+     * Transposed incidence: the ancilla-index mask (numAncilla(type)
+     * bits) of the detecting ancillas of data qubit @p data_idx.
+     * Sparse syndrome extraction XORs one of these per set error bit.
+     */
+    const PackedBits &dataIncidenceMask(ErrorType type,
+                                        int data_idx) const;
+
   private:
     int d_;
     int n_;
@@ -154,6 +175,9 @@ class SurfaceLattice
     std::vector<std::vector<int>> ancillaData_[2];
     std::vector<std::vector<int>> dataAncilla_[2];
     std::vector<int> logicalSupport_[2];
+    std::vector<PackedBits> stabilizerMask_[2];
+    std::vector<PackedBits> dataIncidence_[2];
+    PackedBits logicalMask_[2];
 
     static int typeSlot(ErrorType type) { return type == ErrorType::X ? 0 : 1; }
 };

@@ -6,19 +6,14 @@ bool
 crossingParity(const ErrorState &residual, ErrorType type)
 {
     const SurfaceLattice &lat = residual.lattice();
-    const auto &bits = residual.bits(type);
-    char parity = 0;
-    for (int d : lat.logicalDetectorSupport(type))
-        parity ^= bits[d];
-    return parity;
+    return residual.bits(type).parityAnd(lat.logicalSupportMask(type));
 }
 
 FailureReport
 classifyResidual(const ErrorState &residual, ErrorType type)
 {
     FailureReport report;
-    report.syndromeNonzero =
-        extractSyndrome(residual, type).weight() != 0;
+    report.syndromeNonzero = syndromeNonzero(residual, type);
     report.logicalFlip = crossingParity(residual, type);
     return report;
 }

@@ -5,6 +5,15 @@
  * CNOTs from the ancilla onto its data neighbors, H, then measures; a
  * Z-stabilizer round applies CNOTs from the data neighbors into the
  * ancilla and measures. One full cycle measures every ancilla.
+ *
+ * Because every ancilla is re-initialized at the start of its block, a
+ * full measurement round of one family reduces to a *measurement
+ * gather*: each outcome is the parity of one frame plane over the
+ * ancilla's data-neighbor sites, followed by clearing the family's
+ * ancilla sites. measure() uses precomputed per-ancilla gather masks
+ * (AND + popcount per outcome); measureViaSchedule() walks the gate
+ * schedule op by op and is retained as the reference implementation the
+ * equivalence tests pin measure() against.
  */
 
 #ifndef NISQPP_SURFACE_STABILIZER_CIRCUIT_HH
@@ -13,6 +22,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/packed_bits.hh"
 #include "pauli/pauli_frame.hh"
 #include "surface/lattice.hh"
 #include "surface/syndrome.hh"
@@ -62,9 +72,21 @@ class StabilizerCircuit
      * Run one measurement round of the family detecting @p type on
      * @p frame and return the resulting syndrome. Measurement outcomes
      * are reported as flips relative to the noiseless circuit, exactly
-     * the detection events of Section II-C1.
+     * the detection events of Section II-C1. Uses the precomputed
+     * gather masks; equivalent to measureViaSchedule() for any frame.
      */
     Syndrome measure(PauliFrame &frame, ErrorType type) const;
+
+    /** Allocation-free variant of measure(), filling @p out. */
+    void measureInto(PauliFrame &frame, ErrorType type,
+                     Syndrome &out) const;
+
+    /**
+     * Reference implementation of measure(): execute the gate schedule
+     * op by op on the Pauli-frame simulator. Retained for the
+     * equivalence property tests and protocol-level debugging.
+     */
+    Syndrome measureViaSchedule(PauliFrame &frame, ErrorType type) const;
 
     /**
      * Convenience: full extraction through the circuits for @p state.
@@ -72,12 +94,34 @@ class StabilizerCircuit
      */
     Syndrome extract(const ErrorState &state, ErrorType type) const;
 
+    /**
+     * Allocation-free extraction into @p out, reusing an internal
+     * scratch frame. Not thread-safe across concurrent callers on the
+     * same StabilizerCircuit (each simulator owns its own instance).
+     */
+    void extractInto(const ErrorState &state, ErrorType type,
+                     Syndrome &out);
+
   private:
     void buildSchedule(ErrorType type);
 
     const SurfaceLattice *lattice_;
     std::vector<Op> scheduleX_; ///< detects Z errors (X ancillas)
     std::vector<Op> scheduleZ_; ///< detects X errors (Z ancillas)
+
+    // Measurement-gather tables, per detecting family: the site mask of
+    // each ancilla's data neighbors, the family's ancilla-site mask
+    // (cleared after the round) and the site id of each data qubit.
+    std::vector<PackedBits> gather_[2];
+    PackedBits ancillaSites_[2];
+    std::vector<int> dataSite_;
+
+    PauliFrame scratchFrame_; ///< reused by extractInto()
+
+    static int typeSlot(ErrorType type)
+    {
+        return type == ErrorType::X ? 0 : 1;
+    }
 };
 
 } // namespace nisqpp

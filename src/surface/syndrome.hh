@@ -1,11 +1,13 @@
 /**
  * @file
  * Error syndromes (paper Section II-C1): the bit string of ancilla
- * measurement outcomes. Ancillas returning +1 ("hot syndromes") mark odd
- * error parity in their data-qubit sets. Extraction is available both as
- * direct stabilizer parity and through the full Fig. 3 stabilizer circuits
- * executed on the Pauli-frame simulator; the two agree by construction and
- * are cross-checked in tests.
+ * measurement outcomes, word-packed. Ancillas returning +1 ("hot
+ * syndromes") mark odd error parity in their data-qubit sets. Extraction
+ * is available both as direct stabilizer parity — AND + popcount against
+ * the lattice's precomputed stabilizer masks — and through the full
+ * Fig. 3 stabilizer circuits executed on the Pauli-frame simulator; the
+ * two agree by construction and are cross-checked in tests, along with a
+ * retained per-neighbor reference implementation.
  */
 
 #ifndef NISQPP_SURFACE_SYNDROME_HH
@@ -13,6 +15,7 @@
 
 #include <vector>
 
+#include "common/packed_bits.hh"
 #include "surface/error_state.hh"
 #include "surface/lattice.hh"
 
@@ -27,29 +30,70 @@ class Syndrome
     ErrorType type() const { return type_; }
     int size() const { return static_cast<int>(bits_.size()); }
 
-    bool hot(int ancilla_idx) const { return bits_.at(ancilla_idx); }
-    void set(int ancilla_idx, bool v) { bits_.at(ancilla_idx) = v; }
-    void flip(int ancilla_idx) { bits_.at(ancilla_idx) ^= 1; }
-    void clear();
+    /** Hot-path accessors: unchecked reads/writes, debug-asserted. */
+    bool hot(int ancilla_idx) const { return bits_.get(ancilla_idx); }
+    void set(int ancilla_idx, bool v) { bits_.set(ancilla_idx, v); }
+    void flip(int ancilla_idx) { bits_.flip(ancilla_idx); }
+    void clear() { bits_.clear(); }
 
     /** Number of hot (firing) ancillas. */
-    int weight() const;
+    int weight() const { return bits_.popcount(); }
 
     /** Compact indices of hot ancillas, ascending. */
     std::vector<int> hotList() const;
+
+    /** Append hot ancilla indices to @p out (reuses its capacity). */
+    void hotListInto(std::vector<int> &out) const;
+
+    /** Invoke @p f(int ancilla_idx) on every hot ancilla, ascending. */
+    template <typename F>
+    void
+    forEachHot(F &&f) const
+    {
+        bits_.forEachSet(f);
+    }
+
+    /** The word-packed outcome bits. */
+    const PackedBits &bits() const { return bits_; }
+
+    /** XOR an ancilla-space mask into the outcome bits (extraction). */
+    void xorMask(const PackedBits &mask) { bits_.xorWith(mask); }
 
     bool operator==(const Syndrome &o) const = default;
 
   private:
     ErrorType type_;
-    std::vector<char> bits_;
+    PackedBits bits_;
 };
 
 /**
  * Direct syndrome extraction: parity of @p type error bits over each
- * detecting ancilla's data neighbors (perfect measurement).
+ * detecting ancilla's data neighbors (perfect measurement), computed
+ * against the lattice's word-packed stabilizer masks.
  */
 Syndrome extractSyndrome(const ErrorState &state, ErrorType type);
+
+/**
+ * Allocation-free variant: extract into @p out, which must belong to
+ * the same lattice geometry and type (hot loops reuse one Syndrome).
+ */
+void extractSyndromeInto(const ErrorState &state, ErrorType type,
+                         Syndrome &out);
+
+/**
+ * Whether any ancilla of the @p type-detecting family fires: equivalent
+ * to extractSyndrome(state, type).weight() != 0 without materializing
+ * the syndrome (early-exits on the first hot ancilla).
+ */
+bool syndromeNonzero(const ErrorState &state, ErrorType type);
+
+/**
+ * Retained reference implementation: per-ancilla neighbor-loop parity
+ * over the error bits, exactly the pre-packed-substrate algorithm. The
+ * equivalence property tests pin extractSyndrome() to this bit for bit;
+ * it is not for hot paths.
+ */
+Syndrome extractSyndromeReference(const ErrorState &state, ErrorType type);
 
 /**
  * Apply a correction chain expressed as data-qubit flips and verify the

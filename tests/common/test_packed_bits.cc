@@ -1,0 +1,138 @@
+/**
+ * @file Unit tests of the word-packed bitset underpinning the per-trial
+ * hot paths: bit accessors across word boundaries, XOR composition,
+ * popcount/parity reductions against naive recomputation, and the
+ * all-trailing-bits-zero invariant that makes operator== plain word
+ * comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/packed_bits.hh"
+#include "common/rng.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(PackedBits, SetGetFlipAcrossWordBoundaries)
+{
+    for (std::size_t size : {1u, 63u, 64u, 65u, 128u, 200u}) {
+        PackedBits bits(size);
+        EXPECT_EQ(bits.size(), size);
+        for (std::size_t i = 0; i < size; ++i)
+            EXPECT_FALSE(bits.get(i));
+
+        bits.set(0, true);
+        bits.set(size - 1, true);
+        EXPECT_TRUE(bits.get(0));
+        EXPECT_TRUE(bits.get(size - 1));
+        EXPECT_EQ(bits.popcount(), size == 1 ? 1 : 2);
+
+        bits.flip(size - 1);
+        EXPECT_FALSE(bits.get(size - 1));
+        bits.clear();
+        EXPECT_EQ(bits.popcount(), 0);
+        EXPECT_FALSE(bits.any());
+    }
+}
+
+TEST(PackedBits, TestCheckedAccessorPanicsOutOfRange)
+{
+    PackedBits bits(10);
+    EXPECT_TRUE(bits.test(9) == false);
+    EXPECT_DEATH(bits.test(10), "out of range");
+}
+
+TEST(PackedBits, XorMatchesReferenceVectors)
+{
+    Rng rng(0x9a11ULL);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t size = 1 + rng.uniformInt(300);
+        PackedBits a(size), b(size);
+        std::vector<char> ra(size, 0), rb(size, 0);
+        for (std::size_t i = 0; i < size; ++i) {
+            if (rng.bernoulli(0.3)) {
+                a.set(i, true);
+                ra[i] = 1;
+            }
+            if (rng.bernoulli(0.3)) {
+                b.set(i, true);
+                rb[i] = 1;
+            }
+        }
+        a.xorWith(b);
+        int expected_weight = 0;
+        for (std::size_t i = 0; i < size; ++i) {
+            const char want = ra[i] ^ rb[i];
+            EXPECT_EQ(a.get(i), static_cast<bool>(want));
+            expected_weight += want;
+        }
+        EXPECT_EQ(a.popcount(), expected_weight);
+    }
+}
+
+TEST(PackedBits, MaskedReductionsMatchNaive)
+{
+    Rng rng(0xfaceULL);
+    for (int trial = 0; trial < 50; ++trial) {
+        const std::size_t size = 1 + rng.uniformInt(200);
+        PackedBits bits(size), mask(size);
+        int and_count = 0, or_count = 0;
+        char parity = 0;
+        for (std::size_t i = 0; i < size; ++i) {
+            const bool b = rng.bernoulli(0.4);
+            const bool m = rng.bernoulli(0.4);
+            bits.set(i, b);
+            mask.set(i, m);
+            and_count += b && m;
+            or_count += b || m;
+            parity ^= static_cast<char>(b && m);
+        }
+        EXPECT_EQ(bits.popcountAnd(mask), and_count);
+        EXPECT_EQ(bits.parityAnd(mask), static_cast<bool>(parity));
+        EXPECT_EQ(PackedBits::popcountOr(bits, mask), or_count);
+    }
+}
+
+TEST(PackedBits, AndNotClearsMaskedBits)
+{
+    PackedBits bits(130), mask(130);
+    for (std::size_t i = 0; i < 130; ++i)
+        bits.set(i, true);
+    for (std::size_t i = 0; i < 130; i += 3)
+        mask.set(i, true);
+    bits.andNotWith(mask);
+    for (std::size_t i = 0; i < 130; ++i)
+        EXPECT_EQ(bits.get(i), i % 3 != 0) << i;
+}
+
+TEST(PackedBits, ForEachSetVisitsAscending)
+{
+    PackedBits bits(200);
+    const std::vector<int> want{0, 5, 63, 64, 65, 127, 128, 199};
+    for (int i : want)
+        bits.set(i, true);
+    std::vector<int> got;
+    bits.forEachSet([&got](int i) { got.push_back(i); });
+    EXPECT_EQ(got, want);
+}
+
+TEST(PackedBits, EqualityIsValueEquality)
+{
+    PackedBits a(100), b(100), c(101);
+    a.set(77, true);
+    EXPECT_NE(a, b);
+    b.set(77, true);
+    EXPECT_EQ(a, b);
+    // Same first 100 bits, different size: never equal.
+    c.set(77, true);
+    EXPECT_FALSE(a == c);
+    // Resize zero-fills, restoring equality with a fresh bitset.
+    a.resize(100);
+    EXPECT_EQ(a, PackedBits(100));
+}
+
+} // namespace
+} // namespace nisqpp

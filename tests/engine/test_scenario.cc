@@ -16,7 +16,7 @@ TEST(ScenarioRegistry, ContainsEveryFigureAndTable)
         "fig10_variants",  "fig10_final",    "fig10_cycles",
         "fig11_distance",  "table1_circuits", "table2_cells",
         "table3_synthesis", "table4_latency", "table5_fit",
-        "micro_decoders",
+        "micro_decoders",  "micro_hotpath",
     };
     EXPECT_EQ(scenarioRegistry().size(), std::size(expected));
     for (const char *name : expected) {

@@ -58,6 +58,13 @@ analyticBacklogRounds(double f, int k, double initial_rounds)
     return initial_rounds * std::pow(f, k);
 }
 
+double
+backlogGrowthPerRound(double f)
+{
+    require(f > 0, "backlogGrowthPerRound: ratio must be positive");
+    return f <= 1.0 ? 0.0 : 1.0 - 1.0 / f;
+}
+
 std::vector<std::pair<double, double>>
 runningTimeVsRatio(const QCircuit &circuit, double syndrome_cycle_ns,
                    const std::vector<double> &ratios)

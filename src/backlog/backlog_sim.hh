@@ -66,6 +66,16 @@ BacklogResult simulateBacklog(const QCircuit &circuit,
 double analyticBacklogRounds(double f, int k, double initial_rounds);
 
 /**
+ * Closed-form steady-state backlog growth per generated round for a
+ * saturated decoder with processing ratio f = t_dec / t_syn: the
+ * producer adds one round per cycle while the consumer retires 1/f, so
+ * the backlog grows by 1 - 1/f rounds per round for f > 1 and drains
+ * to zero otherwise. The streaming pipeline's measured growth rate is
+ * pinned against this prediction in tests/stream.
+ */
+double backlogGrowthPerRound(double f);
+
+/**
  * Running time of @p circuit as a function of the syndrome data
  * processing ratio f = rgen/rproc (the Fig. 6 sweep).
  */

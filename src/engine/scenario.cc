@@ -120,6 +120,10 @@ scenarioRegistry()
         {"micro_hotpath",
          "tracked per-trial hot-path benchmark (BENCH_hotpath.json)",
          microHotpath},
+        {"streaming_backlog",
+         "streaming decode pipeline: queue depth, latency percentiles "
+         "and backlog growth per decoder x distance x cycle time",
+         streamingBacklog},
     };
     return registry;
 }
@@ -143,6 +147,7 @@ runScenario(const std::string &name, const RunOptions &options,
                   << "'; available scenarios:\n";
         for (const Scenario &s : scenarioRegistry())
             std::cerr << "  " << s.name << "\n";
+        std::cerr << "(run 'nisqpp_run --list' for descriptions)\n";
         return 1;
     }
     ScenarioContext ctx(options, os);
@@ -158,7 +163,7 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
 {
     os << "usage: " << binary;
     if (withScenario)
-        os << " --scenario NAME";
+        os << " [--scenario] NAME";
     os << " [--threads N] [--shard-trials N] [--trials-scale X]"
           " [--seed S] [--format table|csv|json]";
     if (withScenario)
@@ -250,6 +255,10 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 parsed.options.format = OutputFormat::Json;
             else
                 fatal("--format: expected table, csv or json");
+        } else if (scenarioFlagAllowed && !arg.empty() &&
+                   arg[0] != '-' && parsed.scenario.empty()) {
+            // Bare first operand: scenario name without --scenario.
+            parsed.scenario = arg;
         } else {
             fatal("unknown argument '" + arg + "' (try --help)");
         }

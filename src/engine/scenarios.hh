@@ -15,8 +15,6 @@ namespace scenarios {
 
 /** Analytic reproductions (no Monte Carlo). @{ */
 void fig01Sqv(ScenarioContext &ctx);
-void fig05Backlog(ScenarioContext &ctx);
-void fig06Runtime(ScenarioContext &ctx);
 void fig11Distance(ScenarioContext &ctx);
 void table1Circuits(ScenarioContext &ctx);
 void table2Cells(ScenarioContext &ctx);
@@ -31,6 +29,12 @@ void table4Latency(ScenarioContext &ctx);
 void table5Fit(ScenarioContext &ctx);
 void microDecoders(ScenarioContext &ctx);
 void microHotpath(ScenarioContext &ctx);
+/** @} */
+
+/** Streaming decode pipeline (scenarios_stream.cc). @{ */
+void fig05Backlog(ScenarioContext &ctx);
+void fig06Runtime(ScenarioContext &ctx);
+void streamingBacklog(ScenarioContext &ctx);
 /** @} */
 
 } // namespace scenarios

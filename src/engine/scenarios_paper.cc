@@ -1,9 +1,11 @@
 /**
  * @file
  * Analytic scenario bodies: the paper reproductions that need no Monte
- * Carlo (backlog model, SQV model, circuit characteristics and SFQ
- * synthesis). Ported from the original bench binaries so every output
- * is reachable by name through nisqpp_run.
+ * Carlo (SQV model, required-distance model, circuit characteristics
+ * and SFQ synthesis). Ported from the original bench binaries so every
+ * output is reachable by name through nisqpp_run. The backlog figures
+ * (5 and 6) moved to scenarios_stream.cc: they now measure their
+ * operating ratios on the streaming pipeline.
  */
 
 #include "engine/scenarios.hh"
@@ -11,7 +13,6 @@
 #include <string>
 #include <vector>
 
-#include "backlog/backlog_sim.hh"
 #include "backlog/distance_model.hh"
 #include "backlog/sqv.hh"
 #include "circuits/benchmarks.hh"
@@ -59,84 +60,6 @@ fig01Sqv(ScenarioContext &ctx)
     ctx.table("fig01_sqv", table);
     ctx.note("\npaper reports: boost 3,402 at d=3 and 11,163 at d=5 "
              "(Fig. 1, Section VIII)");
-}
-
-void
-fig05Backlog(ScenarioContext &ctx)
-{
-    ctx.note("=== Figure 5: wall clock vs compute time under backlog "
-             "===");
-    ctx.note("(synthetic 10-T-gate program, syndrome cycle 400 ns, "
-             "f = 1.5)\n");
-
-    QCircuit qc(2, "staircase");
-    for (int i = 0; i < 10; ++i) {
-        qc.h(0); // Clifford padding between synchronization points
-        qc.cnot(0, 1);
-        qc.t(0);
-    }
-
-    BacklogParams params;
-    params.syndromeCycleNs = 400.0;
-    params.decodeCycleNs = 600.0; // f = 1.5
-    const BacklogResult res = simulateBacklog(qc, params);
-
-    TablePrinter table({"T gate", "compute time (us)", "wall clock (us)",
-                        "stall (us)", "backlog (rounds)",
-                        "stall ratio"});
-    double prev_stall = 0;
-    for (const auto &ev : res.tGates) {
-        table.addRow(
-            {std::to_string(ev.index),
-             TablePrinter::num(ev.computeNs / 1e3, 4),
-             TablePrinter::num(ev.wallNs / 1e3, 4),
-             TablePrinter::num(ev.stallNs / 1e3, 4),
-             TablePrinter::num(ev.backlogRounds, 4),
-             prev_stall > 0
-                 ? TablePrinter::num(ev.stallNs / prev_stall, 3)
-                 : std::string("-")});
-        prev_stall = ev.stallNs;
-    }
-    ctx.table("fig05_backlog", table);
-
-    ctx.note("\ntotal: compute " +
-             TablePrinter::num(res.computeNs / 1e3, 4) + " us, wall " +
-             TablePrinter::num(res.wallNs / 1e3, 4) + " us, overhead " +
-             TablePrinter::num(res.overhead(), 4) +
-             "x; stall ratio converges to f = 1.5 (the f^k recurrence "
-             "of Section III)");
-}
-
-void
-fig06Runtime(ScenarioContext &ctx)
-{
-    ctx.note("=== Figure 6: running time vs decoding ratio ===");
-    ctx.note("(syndrome cycle 400 ns; entries are wall-clock seconds, "
-             "log-scale in the paper)\n");
-
-    const std::vector<double> ratios{0.25, 0.5, 0.75, 1.0, 1.25,
-                                     1.5,  1.75, 2.0, 2.5, 3.0};
-
-    std::vector<std::string> header{"benchmark (T count)"};
-    for (double f : ratios)
-        header.push_back("f=" + TablePrinter::num(f, 3));
-    TablePrinter table(header);
-
-    for (const QCircuit &qc : tableOneBenchmarks()) {
-        std::vector<std::string> row{
-            qc.name() + " (" +
-            std::to_string(decomposedTCount(qc)) + ")"};
-        for (const auto &[f, wall_ns] :
-             runningTimeVsRatio(qc, 400.0, ratios))
-            row.push_back(TablePrinter::sci(wall_ns * 1e-9, 2));
-        table.addRow(row);
-    }
-    ctx.table("fig06_runtime", table);
-
-    ctx.note("\nreference points (Section III): NN decoder ~800 ns -> "
-             "f ~ 2; SFQ decoder <= 20 ns -> f << 1.");
-    ctx.note("paper's example: 686 T gates at f = 2 -> ~1e196 s; "
-             "saturation caps our doubles at 1e250 ns.");
 }
 
 void

@@ -249,17 +249,7 @@ microHotpath(ScenarioContext &ctx)
              "budget, one cell per decoder x distance; identical "
              "error streams per distance via shared cell seeds)\n");
 
-    struct Family
-    {
-        std::string name;
-        DecoderFactory factory;
-    };
-    const std::vector<Family> families{
-        {"union_find", unionFindDecoderFactory()},
-        {"mwpm", mwpmDecoderFactory()},
-        {"greedy", greedyDecoderFactory()},
-        {"sfq_mesh", meshDecoderFactory(MeshConfig::finalDesign())},
-    };
+    const std::vector<DecoderFamily> &families = decoderFamilies();
     const std::vector<int> distances{3, 5, 7, 9};
 
     // Fixed budgets, no early stop: wall time divides cleanly into
@@ -294,7 +284,7 @@ microHotpath(ScenarioContext &ctx)
 
     TablePrinter table({"decoder", "d", "trials", "PL", "host ms",
                         "trials/s", "ns/decode"});
-    for (const Family &family : families) {
+    for (const DecoderFamily &family : families) {
         for (std::size_t di = 0; di < distances.size(); ++di) {
             CellSpec spec;
             spec.lattice = lattices[di].get();
@@ -349,17 +339,7 @@ microDecoders(ScenarioContext &ctx)
     ctx.note("(dephasing p = 5%, per-round protocol; identical error "
              "streams per decoder family via the shared master seed)\n");
 
-    struct Family
-    {
-        std::string name;
-        DecoderFactory factory;
-    };
-    const std::vector<Family> families{
-        {"sfq_mesh", meshDecoderFactory(MeshConfig::finalDesign())},
-        {"mwpm", mwpmDecoderFactory()},
-        {"union_find", unionFindDecoderFactory()},
-        {"greedy", greedyDecoderFactory()},
-    };
+    const std::vector<DecoderFamily> &families = decoderFamilies();
 
     SweepConfig config;
     config.distances = {3, 5, 7, 9};
@@ -370,7 +350,7 @@ microDecoders(ScenarioContext &ctx)
     TablePrinter table({"decoder", "d", "trials", "PL", "host ms",
                         "trials/s"});
     const auto total_start = std::chrono::steady_clock::now();
-    for (const Family &family : families) {
+    for (const DecoderFamily &family : families) {
         const auto start = std::chrono::steady_clock::now();
         const SweepResult result =
             ctx.engine().runSweep(config, family.factory);

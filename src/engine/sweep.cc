@@ -211,6 +211,16 @@ Engine::runCell(const CellSpec &spec)
     return collectCell(run);
 }
 
+void
+Engine::runJobs(std::vector<std::function<void()>> jobs)
+{
+    for (auto &job : jobs) {
+        require(static_cast<bool>(job), "runJobs: empty job");
+        pool_->submit(std::move(job));
+    }
+    pool_->wait();
+}
+
 SweepResult
 Engine::runSweep(const SweepConfig &config, const DecoderFactory &factory)
 {

@@ -119,6 +119,15 @@ class Engine
     SweepResult runSweep(const SweepConfig &config,
                          const DecoderFactory &factory);
 
+    /**
+     * Run independent @p jobs across the pool and wait for all of
+     * them. Used for grids whose cells are inherently sequential
+     * inside (the streaming backlog trajectories): each job must be
+     * deterministic and write only its own result slot, which makes
+     * the aggregate independent of the thread count by construction.
+     */
+    void runJobs(std::vector<std::function<void()>> jobs);
+
   private:
     struct CellRun; ///< in-flight ordered-merge state of one cell
 

@@ -1,5 +1,6 @@
 #include "sim/experiment.hh"
 
+#include "common/logging.hh"
 #include "decoders/greedy_decoder.hh"
 #include "decoders/mwpm_decoder.hh"
 #include "decoders/union_find_decoder.hh"
@@ -45,6 +46,28 @@ greedyDecoderFactory()
     return [](const SurfaceLattice &lat, ErrorType type) {
         return std::make_unique<GreedyDecoder>(lat, type);
     };
+}
+
+const std::vector<DecoderFamily> &
+decoderFamilies()
+{
+    static const std::vector<DecoderFamily> families{
+        {"sfq_mesh", meshDecoderFactory(MeshConfig::finalDesign())},
+        {"union_find", unionFindDecoderFactory()},
+        {"mwpm", mwpmDecoderFactory()},
+        {"greedy", greedyDecoderFactory()},
+    };
+    return families;
+}
+
+std::size_t
+decoderFamilyIndex(const std::string &name)
+{
+    const auto &families = decoderFamilies();
+    for (std::size_t i = 0; i < families.size(); ++i)
+        if (families[i].name == name)
+            return i;
+    fatal("unknown decoder family '" + name + "'");
 }
 
 std::vector<ScalingFit>

@@ -11,6 +11,8 @@
 #ifndef NISQPP_SIM_EXPERIMENT_HH
 #define NISQPP_SIM_EXPERIMENT_HH
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "common/fit.hh"
@@ -37,6 +39,25 @@ DecoderFactory mwpmDecoderFactory();
 DecoderFactory unionFindDecoderFactory();
 DecoderFactory greedyDecoderFactory();
 /** @} */
+
+/** One named decoder family for cross-decoder comparison scenarios. */
+struct DecoderFamily
+{
+    std::string name;
+    DecoderFactory factory;
+};
+
+/**
+ * The canonical decoder-family list (mesh final design + the software
+ * baselines), in presentation order. Every scenario or test that
+ * compares "all decoders" iterates this registry so adding a family
+ * is a one-place change; the names double as
+ * StreamLatencyModel::forFamily keys.
+ */
+const std::vector<DecoderFamily> &decoderFamilies();
+
+/** Index of @p name in decoderFamilies(); fatal when unknown. */
+std::size_t decoderFamilyIndex(const std::string &name);
 
 /**
  * Fit the paper's scaling model to each curve of a sweep below the

@@ -1,0 +1,57 @@
+#include "stream/latency_model.hh"
+
+#include "backlog/distance_model.hh"
+#include "common/logging.hh"
+#include "core/mesh_decoder.hh"
+
+namespace nisqpp {
+
+double
+StreamLatencyModel::decodeNs(const MeshDecoder *mesh, int hotWeight) const
+{
+    if (meshCycles) {
+        require(mesh != nullptr,
+                "StreamLatencyModel: meshCycles set but the decoder "
+                "is not a MeshDecoder");
+        return mesh->lastStats().cycles * meshPeriodPs * 1e-3;
+    }
+    return baseNs + perHotNs * hotWeight;
+}
+
+StreamLatencyModel
+StreamLatencyModel::mesh(double periodPs)
+{
+    StreamLatencyModel m;
+    m.name = "mesh-cycles";
+    m.meshCycles = true;
+    m.meshPeriodPs = periodPs;
+    return m;
+}
+
+StreamLatencyModel
+StreamLatencyModel::constant(const std::string &name, double ns)
+{
+    StreamLatencyModel m;
+    m.name = name;
+    m.baseNs = ns;
+    return m;
+}
+
+StreamLatencyModel
+StreamLatencyModel::forFamily(const std::string &family, int distance)
+{
+    if (family == "sfq_mesh")
+        return mesh();
+    if (family == "mwpm")
+        return constant(family,
+                        DecoderProfile::mwpm().decodeNs(distance));
+    if (family == "union_find")
+        return constant(family,
+                        DecoderProfile::unionFind().decodeNs(distance));
+    if (family == "greedy")
+        return constant(family, 600.0);
+    fatal("StreamLatencyModel: unknown decoder family '" + family +
+          "' (expected sfq_mesh, mwpm, union_find or greedy)");
+}
+
+} // namespace nisqpp

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Deterministic per-round decode latency models for the streaming
+ * pipeline. The SFQ mesh decoder reports its own simulated cycle count
+ * per decode (Table IV), so its latency is a measurement; the software
+ * baselines get the paper's Section III / Fig. 11 reference latencies
+ * (MWPM ~1 us, union-find ~850 ns, neural-net ~800 ns) with an optional
+ * per-hot-syndrome term. Latencies are functions of the decoder and the
+ * syndrome only — never of host wall time — so streaming telemetry is
+ * byte-reproducible at any thread count.
+ */
+
+#ifndef NISQPP_STREAM_LATENCY_MODEL_HH
+#define NISQPP_STREAM_LATENCY_MODEL_HH
+
+#include <string>
+
+namespace nisqpp {
+
+class MeshDecoder;
+
+/** Modeled decode time of one syndrome round, in nanoseconds. */
+struct StreamLatencyModel
+{
+    std::string name = "constant";
+
+    /** Fixed cost per round (software pipeline overhead). */
+    double baseNs = 0.0;
+
+    /** Additional cost per hot ancilla in the round's syndrome. */
+    double perHotNs = 0.0;
+
+    /**
+     * Take the latency from the mesh decoder's simulated cycle count
+     * instead of the base/perHot terms (requires a MeshDecoder).
+     */
+    bool meshCycles = false;
+
+    /** Mesh clock period when meshCycles is set (Table III). */
+    double meshPeriodPs = 162.72;
+
+    /**
+     * Latency of the round just decoded. @p mesh is the decoder's
+     * MeshDecoder downcast (null for software decoders); @p hotWeight
+     * is the decoded syndrome's hot-ancilla count.
+     */
+    double decodeNs(const MeshDecoder *mesh, int hotWeight) const;
+
+    /** The SFQ mesh: measured cycles x clock period. */
+    static StreamLatencyModel mesh(double periodPs = 162.72);
+
+    /** Fixed latency (the closed-form backlog model's assumption). */
+    static StreamLatencyModel constant(const std::string &name,
+                                       double ns);
+
+    /**
+     * Preset for a decoder family name as used by the experiment
+     * scenarios: "sfq_mesh", "mwpm", "union_find" or "greedy". The
+     * software presets mirror DecoderProfile's Fig. 11 latencies;
+     * greedy (not profiled in the paper) is modeled at 600 ns.
+     */
+    static StreamLatencyModel forFamily(const std::string &family,
+                                        int distance);
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_STREAM_LATENCY_MODEL_HH

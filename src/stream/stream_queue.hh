@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Bounded-capacity syndrome round queue of the streaming pipeline
+ * (paper Section III): the producer emits one round per syndrome cycle,
+ * the decoder consumer drains rounds in FIFO order at whatever rate its
+ * latency model allows. The fast ring models the decoder's finite
+ * on-chip buffering; rounds arriving while it is full spill to an
+ * unbounded overflow ledger (slow memory in a real system) and are
+ * counted, so backlog accounting stays exact while the fast queue's
+ * depth stays bounded.
+ */
+
+#ifndef NISQPP_STREAM_STREAM_QUEUE_HH
+#define NISQPP_STREAM_STREAM_QUEUE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+/** Timing record of one produced syndrome round awaiting decode. */
+struct StreamRound
+{
+    std::size_t round = 0;  ///< producer round index (FIFO key)
+    double arriveNs = 0.0;  ///< simulated clock at production
+    double serviceNs = 0.0; ///< modeled decode time for this round
+};
+
+/**
+ * FIFO of pending syndrome rounds: a fixed-capacity ring (the fast
+ * queue) backed by a spill ledger. push() never fails; rounds that do
+ * not fit the ring are spilled and promoted back into the ring as
+ * earlier rounds are popped, so pop order is always global round order.
+ */
+class StreamQueue
+{
+  public:
+    explicit StreamQueue(std::size_t capacity)
+        : ring_(capacity ? capacity : 1), capacity_(ring_.size())
+    {}
+
+    bool empty() const { return count_ == 0 && spillCount() == 0; }
+
+    /** Rounds currently held in the bounded fast ring. */
+    std::size_t fastDepth() const { return count_; }
+
+    /** Rounds currently spilled past the ring's capacity. */
+    std::size_t spillDepth() const { return spillCount(); }
+
+    /** Total pending rounds (fast + spilled). */
+    std::size_t depth() const { return count_ + spillCount(); }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Rounds that ever overflowed the fast ring. */
+    std::size_t overflowCount() const { return overflow_; }
+
+    /** Enqueue one produced round (spills when the ring is full). */
+    void
+    push(const StreamRound &entry)
+    {
+        if (spillCount() == 0 && count_ < capacity_) {
+            ring_[(head_ + count_) % capacity_] = entry;
+            ++count_;
+            return;
+        }
+        ++overflow_;
+        spill_.push_back(entry);
+    }
+
+    /** Oldest pending round; queue must be non-empty. */
+    const StreamRound &
+    front() const
+    {
+        require(!empty(), "StreamQueue::front on empty queue");
+        return ring_[head_];
+    }
+
+    /** Drop the oldest round, promoting one spilled round if any. */
+    void
+    pop()
+    {
+        require(!empty(), "StreamQueue::pop on empty queue");
+        head_ = (head_ + 1) % capacity_;
+        --count_;
+        if (spillCount() > 0) {
+            ring_[(head_ + count_) % capacity_] = spill_[spillHead_];
+            ++count_;
+            ++spillHead_;
+            // Reclaim the consumed prefix once it dominates the buffer
+            // so long too-slow-decoder runs do not hold dead memory.
+            if (spillHead_ > 1024 && spillHead_ * 2 > spill_.size()) {
+                spill_.erase(spill_.begin(),
+                             spill_.begin() +
+                                 static_cast<std::ptrdiff_t>(spillHead_));
+                spillHead_ = 0;
+            }
+        }
+    }
+
+  private:
+    std::size_t spillCount() const { return spill_.size() - spillHead_; }
+
+    std::vector<StreamRound> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
+    std::vector<StreamRound> spill_;
+    std::size_t spillHead_ = 0;
+    std::size_t overflow_ = 0;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_STREAM_STREAM_QUEUE_HH

@@ -1,0 +1,153 @@
+#include "stream/stream_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.hh"
+#include "core/mesh_decoder.hh"
+#include "decoders/workspace.hh"
+#include "stream/stream_queue.hh"
+#include "stream/syndrome_stream.hh"
+#include "surface/error_model.hh"
+#include "surface/logical.hh"
+
+namespace nisqpp {
+
+namespace {
+
+/** Service times are binned at 1 ns for exact percentile telemetry. */
+constexpr std::size_t kLatencyBinMaxNs = 8191;
+
+} // namespace
+
+StreamingResult
+runStream(const StreamConfig &config, Decoder &decoder,
+          TrialWorkspace *workspace, const StreamObserver *observer)
+{
+    require(config.lattice != nullptr, "runStream: lattice required");
+    require(config.rounds > 0, "runStream: rounds must be positive");
+    require(config.syndromeCycleNs > 0,
+            "runStream: syndrome cycle must be positive");
+    require(decoder.type() == ErrorType::Z,
+            "runStream: streaming decodes the dephasing (Z) family");
+
+    std::unique_ptr<TrialWorkspace> owned;
+    if (!workspace) {
+        owned = std::make_unique<TrialWorkspace>();
+        workspace = owned.get();
+    }
+    const MeshDecoder *mesh = dynamic_cast<MeshDecoder *>(&decoder);
+    if (config.latency.meshCycles)
+        require(mesh != nullptr,
+                "runStream: mesh-cycle latency model needs a "
+                "MeshDecoder consumer");
+
+    const DephasingModel model(config.physicalRate);
+    SyndromeStream stream(*config.lattice, model, ErrorType::Z,
+                          config.seed, config.syndromeCycleNs);
+    StreamQueue queue(config.queueCapacity);
+    Histogram serviceHist(kLatencyBinMaxNs);
+
+    StreamingResult result;
+    const double cycle = config.syndromeCycleNs;
+    const double endOfProduction =
+        static_cast<double>(config.rounds) * cycle;
+    const std::size_t stride = std::max<std::size_t>(
+        1, config.rounds / std::max<std::size_t>(
+               1, config.trajectorySamples > 1
+                      ? config.trajectorySamples - 1
+                      : 1));
+
+    double consumerFreeNs = 0.0;
+    std::size_t completed = 0;
+    std::size_t completedByEnd = 0;
+    bool parity = false;
+
+    auto completeFront = [&]() {
+        const StreamRound &entry = queue.front();
+        const double start = std::max(consumerFreeNs, entry.arriveNs);
+        const double done = start + entry.serviceNs;
+        consumerFreeNs = done;
+        result.sojournNs.add(done - entry.arriveNs);
+        if (done <= endOfProduction)
+            ++completedByEnd;
+        ++completed;
+        queue.pop();
+        return done;
+    };
+
+    for (std::size_t k = 0; k < config.rounds; ++k) {
+        const double tArrive = static_cast<double>(k) * cycle;
+
+        // The consumer retires every round it finishes before this
+        // arrival; peeking the completion time keeps FIFO exactness.
+        while (!queue.empty()) {
+            const StreamRound &entry = queue.front();
+            const double done =
+                std::max(consumerFreeNs, entry.arriveNs) +
+                entry.serviceNs;
+            if (done > tArrive)
+                break;
+            completeFront();
+        }
+
+        // Produce and decode round k. The decode result is computed
+        // round-synchronously (closed-loop lifetime physics); only its
+        // cost is replayed against the virtual clock below.
+        const Syndrome &syndrome = stream.emit();
+        decoder.decode(syndrome, *workspace);
+        workspace->correction.applyTo(stream.state(), ErrorType::Z);
+        const bool nowParity =
+            crossingParity(stream.state(), ErrorType::Z);
+        if (nowParity != parity)
+            ++result.failures;
+        parity = nowParity;
+        if (observer && *observer)
+            (*observer)(k, syndrome, workspace->correction);
+
+        const double serviceNs =
+            config.latency.decodeNs(mesh, syndrome.weight());
+        result.serviceNs.add(serviceNs);
+        serviceHist.add(
+            static_cast<std::size_t>(std::llround(serviceNs)));
+
+        queue.push({k, tArrive, serviceNs});
+        ++result.rounds;
+
+        const std::size_t backlog = (k + 1) - completed;
+        result.maxBacklogRounds =
+            std::max(result.maxBacklogRounds, backlog);
+        result.maxQueueDepth =
+            std::max(result.maxQueueDepth, queue.fastDepth());
+        if (k % stride == 0 || k + 1 == config.rounds)
+            result.trajectory.push_back(
+                {k, backlog, queue.fastDepth()});
+    }
+
+    // Production is over; drain whatever is still pending.
+    double lastDone = consumerFreeNs;
+    while (!queue.empty())
+        lastDone = completeFront();
+
+    result.overflowRounds = queue.overflowCount();
+    result.finalBacklogRounds = result.rounds - completedByEnd;
+    result.backlogGrowthPerRound =
+        static_cast<double>(result.finalBacklogRounds) /
+        static_cast<double>(result.rounds);
+    result.drainNs = std::max(0.0, lastDone - endOfProduction);
+    result.fEmpirical = result.serviceNs.mean() / cycle;
+    result.logicalErrorRate =
+        static_cast<double>(result.failures) /
+        static_cast<double>(result.rounds);
+    result.servicePercentiles.p50 =
+        percentileFromHistogram(serviceHist, 0.50);
+    result.servicePercentiles.p90 =
+        percentileFromHistogram(serviceHist, 0.90);
+    result.servicePercentiles.p99 =
+        percentileFromHistogram(serviceHist, 0.99);
+    result.servicePercentiles.max = result.serviceNs.max();
+    return result;
+}
+
+} // namespace nisqpp

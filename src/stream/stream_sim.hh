@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Streaming decode pipeline (paper Section III, Figs. 5-6 measured):
+ * a SyndromeStream producer emits per-round syndromes on a simulated
+ * wall clock, a bounded StreamQueue buffers them, and a decoder
+ * consumer drains them in FIFO order at the rate its latency model
+ * allows. Decode *results* are computed round-synchronously (so
+ * streaming corrections are bit-identical to batch Decoder::decode on
+ * the same syndromes and the lifetime-protocol physics stays closed);
+ * decode *timing* is replayed against the virtual clock, producing
+ * queue-depth, latency-percentile and backlog-trajectory telemetry.
+ * Everything is a deterministic function of the configuration and seed.
+ */
+
+#ifndef NISQPP_STREAM_STREAM_SIM_HH
+#define NISQPP_STREAM_STREAM_SIM_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "decoders/decoder.hh"
+#include "stream/latency_model.hh"
+#include "stream/telemetry.hh"
+#include "surface/lattice.hh"
+
+namespace nisqpp {
+
+class TrialWorkspace;
+
+/** Configuration of one streaming decode run. */
+struct StreamConfig
+{
+    const SurfaceLattice *lattice = nullptr;
+    double physicalRate = 0.05;   ///< dephasing channel parameter
+    double syndromeCycleNs = 400.0; ///< generation cycle (paper [27])
+    std::size_t rounds = 4000;    ///< production horizon
+    std::size_t queueCapacity = 64; ///< fast-ring slots before spill
+    std::uint64_t seed = 0x57e40ULL;
+    StreamLatencyModel latency;
+    /** Backlog trajectory sample count over the horizon (>= 2). */
+    std::size_t trajectorySamples = 32;
+};
+
+/** Aggregates and telemetry of one streaming run. */
+struct StreamingResult
+{
+    std::size_t rounds = 0;
+    std::size_t failures = 0; ///< lifetime-protocol logical flips
+
+    /** failures / rounds (the streaming counterpart of PL). */
+    double logicalErrorRate = 0.0;
+
+    /** Modeled decode service time per round (ns). */
+    RunningStats serviceNs;
+    /** Arrival-to-completion sojourn per round (ns; includes queueing). */
+    RunningStats sojournNs;
+    /** Service-time percentiles from exact 1 ns bins. */
+    LatencyPercentiles servicePercentiles;
+
+    std::size_t maxQueueDepth = 0;   ///< fast-ring high-water mark
+    std::size_t maxBacklogRounds = 0; ///< produced - completed peak
+    std::size_t overflowRounds = 0;  ///< rounds spilled past the ring
+
+    /** Rounds still undecoded the instant production stops. */
+    std::size_t finalBacklogRounds = 0;
+    /** finalBacklogRounds / rounds: measured growth per produced round. */
+    double backlogGrowthPerRound = 0.0;
+    /** Simulated time past end-of-production to drain the backlog. */
+    double drainNs = 0.0;
+    /** Mean service time / syndrome cycle: the measured ratio f. */
+    double fEmpirical = 0.0;
+
+    std::vector<BacklogSample> trajectory;
+};
+
+/**
+ * Per-round observer: invoked after each round's decode with the
+ * emitted syndrome and the correction the decoder returned for it
+ * (used by the batch-equivalence tests and explorers).
+ */
+using StreamObserver = std::function<void(
+    std::size_t round, const Syndrome &syndrome, const Correction &)>;
+
+/**
+ * Run one streaming trial of @p decoder (which must decode the
+ * dephasing family, ErrorType::Z) under @p config.
+ *
+ * @param workspace Scratch shared with other work on this thread;
+ *                  null = allocate a private workspace.
+ * @param observer  Optional per-round hook; pass nullptr when unused.
+ */
+StreamingResult runStream(const StreamConfig &config, Decoder &decoder,
+                          TrialWorkspace *workspace = nullptr,
+                          const StreamObserver *observer = nullptr);
+
+} // namespace nisqpp
+
+#endif // NISQPP_STREAM_STREAM_SIM_HH

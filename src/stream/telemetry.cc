@@ -1,0 +1,26 @@
+#include "stream/telemetry.hh"
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+
+double
+percentileFromHistogram(const Histogram &hist, double q)
+{
+    require(q >= 0.0 && q <= 1.0,
+            "percentileFromHistogram: q outside [0, 1]");
+    const std::size_t total = hist.total();
+    if (total == 0)
+        return 0.0;
+    // Smallest value v with P(X <= v) >= q, walking the exact bins.
+    const double target = q * static_cast<double>(total);
+    std::size_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.numBins(); ++i) {
+        cumulative += hist.bin(i);
+        if (static_cast<double>(cumulative) >= target)
+            return static_cast<double>(i);
+    }
+    return static_cast<double>(hist.numBins());
+}
+
+} // namespace nisqpp

@@ -110,6 +110,19 @@ TEST(Backlog, RunningTimeSweepShapes)
     EXPECT_GT(series[4].second, series[2].second * 1e10);
 }
 
+TEST(Backlog, SteadyStateGrowthClosedForm)
+{
+    // Fast or matched decoders accumulate nothing.
+    EXPECT_DOUBLE_EQ(backlogGrowthPerRound(0.1), 0.0);
+    EXPECT_DOUBLE_EQ(backlogGrowthPerRound(1.0), 0.0);
+    // Above saturation the producer wins by 1 - 1/f rounds per round.
+    EXPECT_DOUBLE_EQ(backlogGrowthPerRound(2.0), 0.5);
+    EXPECT_DOUBLE_EQ(backlogGrowthPerRound(1.5), 1.0 - 1.0 / 1.5);
+    // Monotone in f and bounded by 1.
+    EXPECT_LT(backlogGrowthPerRound(1.5), backlogGrowthPerRound(3.0));
+    EXPECT_LT(backlogGrowthPerRound(1000.0), 1.0);
+}
+
 TEST(Backlog, ToffolisAreExpandedToTGates)
 {
     QCircuit qc(3, "toff");

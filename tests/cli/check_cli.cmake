@@ -1,0 +1,78 @@
+# CLI contract tests for nisqpp_run, driven by CTest:
+#   cmake -DNISQPP_RUN=<binary> -P check_cli.cmake
+# Every unknown scenario/format/flag must fail with a non-zero exit
+# and a helpful message; the happy paths must keep working.
+
+if(NOT NISQPP_RUN)
+  message(FATAL_ERROR "pass -DNISQPP_RUN=<path to nisqpp_run>")
+endif()
+
+set(failures 0)
+
+# check_cli(<name> <expect_rc_zero?> <stream> <must_match_regex> args...)
+# stream is OUT or ERR: which stream the regex must match.
+function(check_cli name expect_zero stream pattern)
+  execute_process(COMMAND ${NISQPP_RUN} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  set(ok TRUE)
+  if(expect_zero AND NOT rc EQUAL 0)
+    set(ok FALSE)
+    message(WARNING "${name}: expected exit 0, got ${rc}")
+  endif()
+  if(NOT expect_zero AND rc EQUAL 0)
+    set(ok FALSE)
+    message(WARNING "${name}: expected non-zero exit, got 0")
+  endif()
+  if(stream STREQUAL "OUT")
+    set(text "${out}")
+  else()
+    set(text "${err}")
+  endif()
+  if(NOT text MATCHES "${pattern}")
+    set(ok FALSE)
+    message(WARNING "${name}: ${stream} did not match '${pattern}':\n"
+                    "stdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT ok)
+    math(EXPR failures "${failures} + 1")
+    set(failures ${failures} PARENT_SCOPE)
+  else()
+    message(STATUS "${name}: ok")
+  endif()
+endfunction()
+
+# Rejections: non-zero exit + a message that names the problem.
+check_cli(unknown_scenario FALSE ERR
+          "unknown scenario 'fig99_bogus'.*--list"
+          --scenario fig99_bogus)
+check_cli(unknown_scenario_positional FALSE ERR
+          "unknown scenario 'fig99_bogus'"
+          fig99_bogus)
+check_cli(unknown_format FALSE ERR
+          "--format: expected table, csv or json"
+          --scenario fig01_sqv --format yaml)
+check_cli(unknown_flag FALSE ERR
+          "unknown argument '--frobnicate'"
+          --frobnicate)
+check_cli(negative_seed FALSE ERR
+          "--seed: expected an unsigned 64-bit integer"
+          --scenario fig01_sqv --seed -5)
+check_cli(missing_scenario FALSE ERR
+          "usage: nisqpp_run"
+          --threads 2)
+check_cli(bad_threads FALSE ERR
+          "--threads: expected an integer"
+          --scenario fig01_sqv --threads 1.5)
+
+# Happy paths stay intact.
+check_cli(list_names TRUE OUT "streaming_backlog" --list)
+check_cli(flagged_scenario TRUE OUT "SQV" --scenario fig01_sqv)
+check_cli(positional_scenario TRUE OUT "SQV" fig01_sqv)
+check_cli(json_document TRUE OUT "^\\{\"tables\":\\["
+          table2_cells --format json)
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} CLI check(s) failed")
+endif()

@@ -16,7 +16,7 @@ TEST(ScenarioRegistry, ContainsEveryFigureAndTable)
         "fig10_variants",  "fig10_final",    "fig10_cycles",
         "fig11_distance",  "table1_circuits", "table2_cells",
         "table3_synthesis", "table4_latency", "table5_fit",
-        "micro_decoders",  "micro_hotpath",
+        "micro_decoders",  "micro_hotpath",  "streaming_backlog",
     };
     EXPECT_EQ(scenarioRegistry().size(), std::size(expected));
     for (const char *name : expected) {
@@ -67,6 +67,27 @@ TEST(ScenarioRun, JsonFormatIsOneDocument)
     EXPECT_NE(text.find("\"id\":\"table3_synthesis\""),
               std::string::npos);
     EXPECT_EQ(text.substr(text.size() - 3), "]}\n");
+}
+
+TEST(ScenarioRun, StreamingBacklogIsThreadCountInvariant)
+{
+    // Acceptance: streaming_backlog aggregates are byte-identical for
+    // 1 and 4 threads at a fixed seed (each grid cell is one
+    // deterministic job; the merge order is the grid order).
+    RunOptions one;
+    one.trialsScale = 0.05;
+    one.seedSet = true;
+    one.seed = 42;
+    one.threads = 1;
+    RunOptions four = one;
+    four.threads = 4;
+
+    std::ostringstream out_one, out_four;
+    ASSERT_EQ(runScenario("streaming_backlog", one, out_one), 0);
+    ASSERT_EQ(runScenario("streaming_backlog", four, out_four), 0);
+    EXPECT_EQ(out_one.str(), out_four.str());
+    EXPECT_NE(out_one.str().find("streaming_backlog"),
+              std::string::npos);
 }
 
 TEST(ScenarioRun, SeedOverrideChangesMonteCarloOutput)

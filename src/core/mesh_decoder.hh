@@ -16,41 +16,45 @@
  *     global reset (pair signals are exempt so the farther leg finishes);
  *  6. boundary modules answer grow with pair-request and grant with pair.
  *
- * The mesh state is bit-packed one row per 64-bit word, so each cycle is
- * a handful of bitwise operations per row; decoding a d=9 lattice takes
- * microseconds of host time.
+ * The mesh state is bit-packed one row per machine word, so each cycle
+ * is a handful of bitwise operations per row. A row spans only
+ * 2d + 1 <= 19 columns for the distances the experiments run, so most
+ * of every word is dead weight in a single-trial decode; the batch
+ * entry point reclaims it by *lane packing*: decodeBatch() simulates L
+ * independent Monte Carlo trials per word, each in its own span-wide
+ * lane. The batch word is a 4 x 64-bit SIMD-friendly vector (GNU
+ * vector extension, lowered to SSE/AVX or plain scalar pairs by the
+ * compiler), giving 64/span sub-lanes per element: 12 lanes at d = 9,
+ * 16 at d = 7, 20 at d = 5 and 32 (capped) at d = 3. The per-cycle
+ * shift/AND/OR/XOR plane updates are shared across lanes — lane-guard
+ * masks drop each lane's edge column before an east/west shift,
+ * exactly the bits the valid mask would kill after a scalar shift —
+ * while reset countdowns, quiescence windows, the cycle cap and
+ * completion are tracked per lane, so diverging trials freeze
+ * independently. Because every piece of per-lane control state is
+ * relative to the lane's own start cycle, a lane that freezes is
+ * immediately *refilled* with the next pending trial of the batch:
+ * lanes never idle waiting for a slow sibling, and the amortized cost
+ * per trial is one L-th of a mesh step per cycle. Every lane's
+ * corrections and telemetry are bit-identical to a scalar decode of
+ * the same syndrome; the scalar decode() runs the same stepping core
+ * with a single lane in a plain 64-bit word.
  */
 
 #ifndef NISQPP_CORE_MESH_DECODER_HH
 #define NISQPP_CORE_MESH_DECODER_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
 
 #include "core/mesh_config.hh"
+#include "core/mesh_stats.hh"
 #include "core/module_logic.hh"
 #include "decoders/decoder.hh"
 
 namespace nisqpp {
-
-/** Telemetry from one mesh decode. */
-struct MeshDecodeStats
-{
-    int cycles = 0;            ///< total mesh cycles to completion
-    int pairings = 0;          ///< hot-latch clears (chain endpoints)
-    int resets = 0;            ///< global resets fired
-    int remainingHot = 0;      ///< unresolved syndromes at exit
-    bool quiesced = false;     ///< exited via no-progress window
-    bool timedOut = false;     ///< exited via hard cycle cap
-
-    /** Wall-clock nanoseconds at @p period_ps per cycle. */
-    double
-    nanoseconds(double period_ps) const
-    {
-        return cycles * period_ps * 1e-3;
-    }
-};
 
 /**
  * The SFQ mesh decoder. Implements the Decoder interface so the Monte
@@ -59,11 +63,40 @@ struct MeshDecodeStats
 class MeshDecoder : public Decoder
 {
   public:
+    /** Largest lane count any batch geometry uses. */
+    static constexpr int kMaxLanes = 32;
+
+#if defined(__GNUC__) || defined(__clang__)
+    /**
+     * Word type of the lane-packed batch engine: four independent
+     * 64-bit elements stepped together (every plane operation is
+     * elementwise, so the compiler is free to use SIMD); each element
+     * carries 64/span sub-lanes behind guard masks.
+     */
+    using BatchWord __attribute__((vector_size(32))) = std::uint64_t;
+#else
+    using BatchWord = std::uint64_t;
+#endif
+
     MeshDecoder(const SurfaceLattice &lattice, ErrorType type,
                 const MeshConfig &config = MeshConfig::finalDesign());
 
     Correction decode(const Syndrome &syndrome) override;
     void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
+
+    /**
+     * Lane-packed batch decode: up to batchLanes() syndromes advance
+     * through the mesh planes together, one lane each, and every
+     * freed lane is refilled from the remaining batch, so @p count
+     * may (and for throughput should) exceed batchLanes().
+     * Corrections land in ws.laneCorrections[0..count), per-lane
+     * telemetry in meshStats(lane) — both bit-identical to scalar
+     * decodes of the same syndromes.
+     */
+    void decodeBatch(const Syndrome *const *syndromes, std::size_t count,
+                     TrialWorkspace &ws) override;
+
+    const MeshDecodeStats *meshStats(std::size_t lane = 0) const override;
 
     std::string name() const override
     {
@@ -72,8 +105,14 @@ class MeshDecoder : public Decoder
 
     const MeshConfig &config() const { return config_; }
 
-    /** Telemetry of the most recent decode. */
-    const MeshDecodeStats &lastStats() const { return stats_; }
+    /** Telemetry of the most recent decode (lane 0 of a batch). */
+    const MeshDecodeStats &lastStats() const { return batchStats_[0]; }
+
+    /**
+     * Trials the batch engine steps concurrently: elements(BatchWord)
+     * x (64 / span), capped at kMaxLanes.
+     */
+    int batchLanes() const { return batch_.lanes; }
 
     /** Hard cap on simulated cycles per decode. */
     int cycleCap() const { return cycleCap_; }
@@ -82,41 +121,103 @@ class MeshDecoder : public Decoder
     int quiescenceWindow() const { return quiescence_; }
 
     /**
+     * Override the cycle cap and quiescence window (tests only: forces
+     * the cap/quiescence exits on tame syndromes so lane freezing can
+     * be exercised deterministically). Applies to scalar and batched
+     * decodes alike.
+     */
+    void
+    setLimitsForTest(int cycle_cap, int quiescence_window)
+    {
+        cycleCap_ = cycle_cap;
+        quiescence_ = quiescence_window;
+    }
+
+    /**
      * Optional per-cycle trace sink for protocol debugging; prints
-     * in-flight signal summaries each cycle when non-null.
+     * in-flight signal summaries each cycle when non-null (scalar
+     * decodes only — batched lanes are not traced).
      */
     std::ostream *trace = nullptr;
 
   private:
-    using Word = std::uint64_t;
-    using Planes = DirRow<std::vector<Word>>;
+    /**
+     * Everything the stepping core needs for one lane layout: the lane
+     * geometry (masks replicated into every lane of every element,
+     * shift guards), the mesh planes, per-step scratch and the
+     * per-lane control state. Two engines exist — LaneEngine<uint64_t>
+     * serves scalar decode() with a single lane (bit layout identical
+     * to the historical scalar decoder) and LaneEngine<BatchWord>
+     * packs batchLanes() trials — and both run the exact same
+     * (templated) stepping code. All per-lane control state is
+     * *relative* to the lane's own start cycle, which is what lets
+     * decodeLanes() refill a freed lane with the next pending trial
+     * mid-flight.
+     */
+    template <typename W>
+    struct LaneEngine
+    {
+        using Planes = DirRow<std::vector<W>>;
 
-    void clearPlanes(Planes &planes);
-    bool planesEmpty(const Planes &planes) const;
-    void shiftPlanes(const Planes &out, Planes &in) const;
-    void step();
-    void decodeImpl(const Syndrome &syndrome, Correction &out);
+        int lanes = 1;
+        int perElem = 1; ///< sub-lanes per 64-bit element (64 / span)
+        W guardE{};      ///< cleared before << 1 (per element)
+        W guardW{};      ///< cleared before >> 1
+        std::vector<W> interior, bnd, valid; ///< replicated row masks
+        std::array<W, kMaxLanes> laneMask{};
+        /** Lane address: element index + sub-lane mask/base inside it. */
+        std::array<int, kMaxLanes> laneElem{};
+        std::array<std::uint64_t, kMaxLanes> laneSub{};
+        std::array<int, kMaxLanes> laneBase{};
+
+        // Per-decode mesh state, shared by every lane. The signal
+        // planes are double-buffered *outputs*: `g`/`rq`/`gr`/`pr`
+        // hold the previous cycle's emissions (each cycle derives its
+        // shifted inputs from them on the fly), `gOut`... collect this
+        // cycle's and the buffers swap at the end of the step.
+        Planes g, rq, gr, pr;       ///< last cycle's emitted signals
+        Planes gOut, rqOut, grOut, prOut; ///< this cycle's (scratch)
+        Planes grantLatch;          ///< hot modules' grant choice
+        std::vector<W> formed; ///< sticky "this module formed a pair"
+        std::vector<W> fired;  ///< cleared endpoints still absorbing
+        std::vector<W> hot;
+        std::vector<W> chain;
+        std::vector<W> fire; ///< per-step scratch (no allocation)
+
+        // Per-lane control state: diverging lanes freeze independently.
+        std::array<int, kMaxLanes> resetCountdown{};
+        std::array<int, kMaxLanes> lastFire{};
+        std::array<int, kMaxLanes> hotCount{};
+        std::array<bool, kMaxLanes> active{};
+        int cycle = 0;
+        W prOcc{}; ///< pair-plane occupancy after the last step
+    };
+
+    template <typename W>
+    void buildEngine(LaneEngine<W> &e, int max_lanes) const;
+    template <typename W>
+    void stepLanes(LaneEngine<W> &e, MeshDecodeStats *const *laneStats);
+    template <typename W>
+    void finishLane(LaneEngine<W> &e, int lane, Correction &out,
+                    MeshDecodeStats &stats);
+    template <typename W>
+    void decodeLanes(LaneEngine<W> &e,
+                     const Syndrome *const *syndromes, int count,
+                     Correction *const *outs, MeshDecodeStats *stats);
 
     MeshConfig config_;
     int span_;      ///< grid size + 2 (boundary ring included)
     int cycleCap_;
     int quiescence_;
 
-    std::vector<Word> interior_; ///< interior module mask per row
-    std::vector<Word> bnd_;      ///< enabled boundary-ring mask per row
-    std::vector<Word> valid_;    ///< interior | bnd
+    LaneEngine<std::uint64_t> scalar_; ///< one lane: decode()
+    LaneEngine<BatchWord> batch_;      ///< packed lanes: decodeBatch()
 
-    // Per-decode state.
-    Planes g_, rq_, gr_, pr_;       ///< in-flight signals (current inputs)
-    Planes grantLatch_;             ///< hot modules' grant choice
-    std::vector<Word> formed_;      ///< sticky "this module formed a pair"
-    std::vector<Word> fired_;       ///< cleared endpoints still absorbing
-    std::vector<Word> hot_;
-    std::vector<Word> chain_;
-    int resetCountdown_ = 0;
-    int lastFire_ = 0;
-    int cycle_ = 0;
-    MeshDecodeStats stats_;
+    /** Telemetry of the last decode, one entry per lane decoded. */
+    std::vector<MeshDecodeStats> batchStats_{1};
+
+    /** decodeBatch() per-trial output pointers (reused, no alloc). */
+    std::vector<Correction *> outScratch_;
 };
 
 } // namespace nisqpp

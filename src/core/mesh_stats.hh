@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Telemetry of one SFQ mesh decode. Lives apart from the decoder so the
+ * generic Decoder interface can expose mesh telemetry (per decode and
+ * per batch lane) without depending on the mesh implementation — the
+ * streaming latency model and the Monte Carlo harness consume these
+ * through the virtual Decoder::meshStats() hook.
+ */
+
+#ifndef NISQPP_CORE_MESH_STATS_HH
+#define NISQPP_CORE_MESH_STATS_HH
+
+namespace nisqpp {
+
+/** Telemetry from one mesh decode (one lane of a batched decode). */
+struct MeshDecodeStats
+{
+    int cycles = 0;            ///< total mesh cycles to completion
+    int pairings = 0;          ///< hot-latch clears (chain endpoints)
+    int resets = 0;            ///< global resets fired
+    int remainingHot = 0;      ///< unresolved syndromes at exit
+    bool quiesced = false;     ///< exited via no-progress window
+    bool timedOut = false;     ///< exited via hard cycle cap
+
+    /** Wall-clock nanoseconds at @p period_ps per cycle. */
+    double
+    nanoseconds(double period_ps) const
+    {
+        return cycles * period_ps * 1e-3;
+    }
+
+    bool operator==(const MeshDecodeStats &o) const = default;
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_CORE_MESH_STATS_HH

@@ -1,5 +1,7 @@
 #include "decoders/decoder.hh"
 
+#include <utility>
+
 #include "decoders/workspace.hh"
 
 namespace nisqpp {
@@ -8,6 +10,21 @@ void
 Decoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
 {
     ws.correction = decode(syndrome);
+}
+
+void
+Decoder::decodeBatch(const Syndrome *const *syndromes, std::size_t count,
+                     TrialWorkspace &ws)
+{
+    if (ws.laneCorrections.size() < count)
+        ws.laneCorrections.resize(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        decode(*syndromes[i], ws);
+        // Swap instead of copy: both buffers keep their high-water
+        // capacity across the thousands of batches in a shard.
+        std::swap(ws.correction.dataFlips,
+                  ws.laneCorrections[i].dataFlips);
+    }
 }
 
 } // namespace nisqpp

@@ -8,9 +8,11 @@
 #ifndef NISQPP_DECODERS_DECODER_HH
 #define NISQPP_DECODERS_DECODER_HH
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
+#include "core/mesh_stats.hh"
 #include "surface/error_state.hh"
 #include "surface/lattice.hh"
 #include "surface/syndrome.hh"
@@ -63,6 +65,30 @@ class Decoder
      * forwards there for decoders without a tuned hot path.
      */
     virtual void decode(const Syndrome &syndrome, TrialWorkspace &ws);
+
+    /**
+     * Decode @p count independent syndromes into
+     * ws.laneCorrections[0..count), each entry exactly what
+     * decode(*syndromes[i], ws) would produce. The base implementation
+     * is a scalar fallback loop (software decoders have no batch
+     * substrate to win from); MeshDecoder overrides it with the
+     * lane-packed path that steps several trials per 64-bit word.
+     */
+    virtual void decodeBatch(const Syndrome *const *syndromes,
+                             std::size_t count, TrialWorkspace &ws);
+
+    /**
+     * Mesh telemetry of lane @p lane of the most recent decode (a
+     * scalar decode fills lane 0 only). Null for decoders without mesh
+     * telemetry and for lanes past the last decode's batch size —
+     * callers probe this instead of dynamic_casting to MeshDecoder.
+     */
+    virtual const MeshDecodeStats *
+    meshStats(std::size_t lane = 0) const
+    {
+        (void)lane;
+        return nullptr;
+    }
 
     virtual std::string name() const = 0;
 

@@ -40,6 +40,13 @@ class TrialWorkspace
     /** The decoder's output buffer (cleared, not shrunk, per decode). */
     Correction correction;
 
+    /**
+     * Per-lane output buffers of Decoder::decodeBatch: entry i holds
+     * the correction of syndrome i of the last batch. Sized to the
+     * batch high-water mark; capacities are kept across batches.
+     */
+    std::vector<Correction> laneCorrections;
+
     /** @name Matching-based decoders (MWPM, greedy) @{ */
     MatchingGraph graph;           ///< rebuilt per decode, capacity kept
     BlossomMatcher matcher;        ///< reset per decode, arrays kept

@@ -25,6 +25,7 @@ ScenarioContext::engine()
         EngineOptions engineOptions;
         engineOptions.threads = options_.threads;
         engineOptions.shardTrials = options_.shardTrials;
+        engineOptions.batchLanes = options_.batchLanes;
         engine_ = std::make_unique<Engine>(engineOptions);
     }
     return *engine_;
@@ -165,7 +166,7 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
     if (withScenario)
         os << " [--scenario] NAME";
     os << " [--threads N] [--shard-trials N] [--trials-scale X]"
-          " [--seed S] [--format table|csv|json]";
+          " [--seed S] [--batch N] [--format table|csv|json]";
     if (withScenario)
         os << " [--list]";
     os << " [--help]\n";
@@ -176,6 +177,9 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
     }
     os << "\nNISQPP_TRIALS (env) multiplies trial budgets on top of"
           " --trials-scale.\n";
+    os << "NISQPP_BATCH (env) / --batch N group N rounds per decode"
+          " batch (1 = scalar;\nlane-packed mesh decoding otherwise;"
+          " aggregates are identical either way).\n";
 }
 
 /** Parse one numeric flag value or die with a usage error. */
@@ -201,6 +205,7 @@ ParsedArgs
 parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
 {
     ParsedArgs parsed;
+    parsed.options.batchLanes = batchLanesFromEnv(1);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -227,6 +232,14 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 fatal("--shard-trials: expected an integer in "
                       "[1, 1e15]");
             parsed.options.shardTrials = static_cast<std::size_t>(v);
+        } else if (arg == "--batch") {
+            const double v = numericValue(arg, value());
+            if (!(v >= 1) ||
+                v > static_cast<double>(kMaxBatchLanes) ||
+                v != std::floor(v))
+                fatal("--batch: expected an integer in [1, " +
+                      std::to_string(kMaxBatchLanes) + "]");
+            parsed.options.batchLanes = static_cast<std::size_t>(v);
         } else if (arg == "--trials-scale") {
             const double v = numericValue(arg, value());
             if (!(v > 0) || v > kMaxTrialsMultiplier)

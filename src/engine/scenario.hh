@@ -38,6 +38,12 @@ struct RunOptions
     std::uint64_t seed = 0;
     bool seedSet = false; ///< --seed given: overrides scenario defaults
     OutputFormat format = OutputFormat::Table;
+    /**
+     * Rounds per decodeBatch group (--batch, NISQPP_BATCH): 1 decodes
+     * scalar, larger values drive the mesh decoder's lane-packed batch
+     * substrate. Aggregates are byte-identical either way.
+     */
+    std::size_t batchLanes = 1;
 };
 
 /**

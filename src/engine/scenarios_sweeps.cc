@@ -247,10 +247,16 @@ microHotpath(ScenarioContext &ctx)
     ctx.note("=== micro_hotpath: per-trial hot-path throughput ===");
     ctx.note("(dephasing p = 5%, per-round protocol, fixed trial "
              "budget, one cell per decoder x distance; identical "
-             "error streams per distance via shared cell seeds)\n");
+             "error streams per distance via shared cell seeds; "
+             "sfq_mesh_batch = the same mesh decoder through the "
+             "lane-packed decodeBatch path, PL identical by "
+             "construction)\n");
 
     const std::vector<DecoderFamily> &families = decoderFamilies();
     const std::vector<int> distances{3, 5, 7, 9};
+
+    /** Round-group size of the forced-batch mesh rows. */
+    constexpr std::size_t kBatchRows = 256;
 
     // Fixed budgets, no early stop: wall time divides cleanly into
     // per-decode cost. Every family at one distance reuses the same
@@ -275,6 +281,9 @@ microHotpath(ScenarioContext &ctx)
     env.addRow({"shard_trials",
                 std::to_string(ctx.engine().options().shardTrials)});
     env.addRow({"trials_per_cell", std::to_string(rule.maxTrials)});
+    env.addRow({"batch_lanes",
+                std::to_string(ctx.engine().options().batchLanes)});
+    env.addRow({"batch_rows_lanes", std::to_string(kBatchRows)});
 #ifdef NDEBUG
     env.addRow({"assertions", "off"});
 #else
@@ -284,13 +293,16 @@ microHotpath(ScenarioContext &ctx)
 
     TablePrinter table({"decoder", "d", "trials", "PL", "host ms",
                         "trials/s", "ns/decode"});
-    for (const DecoderFamily &family : families) {
+    const auto addRows = [&](const std::string &name,
+                             const DecoderFactory &factory,
+                             std::size_t batch_lanes) {
         for (std::size_t di = 0; di < distances.size(); ++di) {
             CellSpec spec;
             spec.lattice = lattices[di].get();
             spec.physicalRate = 0.05;
             spec.seed = cellSeeds[di];
-            spec.factory = &family.factory;
+            spec.factory = &factory;
+            spec.batchLanes = batch_lanes;
 
             spec.rule = warmupRule;
             ctx.engine().runCell(spec); // fault in caches/buffers
@@ -315,21 +327,29 @@ microHotpath(ScenarioContext &ctx)
             const double per_decode_ns =
                 cell.trials ? ms * 1e6 / cell.trials : 0.0;
             table.addRow(
-                {family.name, std::to_string(distances[di]),
+                {name, std::to_string(distances[di]),
                  std::to_string(cell.trials),
                  TablePrinter::num(cell.logicalErrorRate, 4),
                  TablePrinter::num(ms, 4),
                  TablePrinter::num(cell.trials / (ms / 1e3), 4),
                  TablePrinter::num(per_decode_ns, 4)});
         }
-    }
+    };
+    for (const DecoderFamily &family : families)
+        addRows(family.name, family.factory, 0 /* engine default */);
+    // The mesh decoder again, forced through the lane-packed batch
+    // path: same cells, same seeds, so any PL deviation from the
+    // sfq_mesh rows is a lane-equivalence bug (bench_compare checks).
+    addRows("sfq_mesh_batch",
+            families[decoderFamilyIndex("sfq_mesh")].factory,
+            kBatchRows);
     ctx.table("hotpath", table);
 
     ctx.note("\nrefresh the tracked snapshot with: ./build/"
              "micro_hotpath --threads 1 --format json > "
-             "BENCH_hotpath.json (compare against bench/"
-             "BENCH_hotpath_baseline.json, the pre-packed-substrate "
-             "run)");
+             "BENCH_hotpath.json; compare against bench/"
+             "BENCH_hotpath_baseline.json with ./build/bench_compare "
+             "(PL columns must match byte for byte)");
 }
 
 void

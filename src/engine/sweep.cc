@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <mutex>
 
 #include "common/logging.hh"
@@ -10,6 +11,23 @@
 #include "engine/thread_pool.hh"
 
 namespace nisqpp {
+
+std::size_t
+batchLanesFromEnv(std::size_t fallback)
+{
+    const char *env = std::getenv("NISQPP_BATCH");
+    if (!env || !*env)
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || (end && *end != '\0') || v > kMaxBatchLanes) {
+        warn("NISQPP_BATCH='" + std::string(env) +
+             "' is not an integer <= " +
+             std::to_string(kMaxBatchLanes) + "; using default");
+        return fallback;
+    }
+    return std::max<std::size_t>(1, static_cast<std::size_t>(v));
+}
 
 std::vector<double>
 SweepConfig::logSpaced(double lo, double hi, int count)
@@ -77,6 +95,7 @@ runShard(const CellSpec &spec, const Shard &shard)
     LifetimeSimulator sim(*spec.lattice, *model, *z_dec, x_dec.get(),
                           shard.seed, spec.throughCircuits, &workspace);
     sim.setLifetimeMode(spec.lifetimeMode);
+    sim.setBatchLanes(spec.batchLanes);
     StopRule fixed;
     fixed.minTrials = fixed.maxTrials = shard.trials;
     fixed.targetFailures = ~std::size_t{0};
@@ -176,7 +195,11 @@ Engine::scheduleCell(const CellSpec &spec, CellRun &run)
 {
     require(spec.lattice && spec.factory,
             "Engine: cell needs a lattice and a decoder factory");
+    require(spec.batchLanes <= kMaxBatchLanes,
+            "Engine: batchLanes exceeds kMaxBatchLanes");
     run.spec = spec;
+    if (run.spec.batchLanes == 0)
+        run.spec.batchLanes = options_.batchLanes;
     run.shards = planShards(spec.rule, options_.shardTrials, spec.seed);
     run.pending.resize(run.shards.size());
     run.stop = run.shards.size();

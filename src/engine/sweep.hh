@@ -78,7 +78,26 @@ struct EngineOptions
      * it constant when comparing runs.
      */
     std::size_t shardTrials = 512;
+
+    /**
+     * Rounds grouped per Decoder::decodeBatch call in per-round
+     * simulations (LifetimeSimulator::setBatchLanes): 1 = scalar
+     * decoding, larger values feed the mesh decoder's lane-packed
+     * substrate. Aggregates are byte-identical for every value (and
+     * every thread count) at a fixed seed; only throughput changes.
+     */
+    std::size_t batchLanes = 1;
 };
+
+/**
+ * Batch-lane count from the NISQPP_BATCH environment variable
+ * (an integer round-group size, <= kMaxBatchLanes), or @p fallback
+ * when unset. Malformed values warn and fall back.
+ */
+std::size_t batchLanesFromEnv(std::size_t fallback = 1);
+
+/** Largest accepted round-group size (scratch-memory guard). */
+inline constexpr std::size_t kMaxBatchLanes = 4096;
 
 /** One Monte Carlo grid cell, fully specified for sharded execution. */
 struct CellSpec
@@ -91,6 +110,8 @@ struct CellSpec
     StopRule rule{};          ///< already env/flag scaled by the caller
     std::uint64_t seed = 0;   ///< cell master seed
     const DecoderFactory *factory = nullptr;
+    /** Rounds per decodeBatch group; 0 = the engine's default. */
+    std::size_t batchLanes = 0;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "sim/monte_carlo.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdlib>
 
@@ -96,8 +97,6 @@ LifetimeSimulator::LifetimeSimulator(const SurfaceLattice &lattice,
     if (xDecoder_)
         require(xDecoder_->type() == ErrorType::X,
                 "LifetimeSimulator: xDecoder must decode X errors");
-    meshZ_ = dynamic_cast<MeshDecoder *>(&zDecoder_);
-    meshX_ = dynamic_cast<MeshDecoder *>(xDecoder_);
     if (!ws_) {
         owned_ = std::make_unique<TrialWorkspace>();
         ws_ = owned_.get();
@@ -107,17 +106,20 @@ LifetimeSimulator::LifetimeSimulator(const SurfaceLattice &lattice,
 LifetimeSimulator::~LifetimeSimulator() = default;
 
 void
-LifetimeSimulator::recordMeshStats(Decoder &decoder,
+LifetimeSimulator::setBatchLanes(std::size_t lanes)
+{
+    batchLanes_ = std::max<std::size_t>(1, lanes);
+}
+
+void
+LifetimeSimulator::recordMeshStats(const MeshDecodeStats *stats,
                                    MonteCarloResult &acc) const
 {
-    const MeshDecoder *mesh =
-        &decoder == &zDecoder_ ? meshZ_ : meshX_;
-    if (!mesh)
+    if (!stats)
         return;
-    const auto &stats = mesh->lastStats();
-    acc.cycles.add(stats.cycles);
+    acc.cycles.add(stats->cycles);
     if (acc.cycleHistogram.numBins() > 1)
-        acc.cycleHistogram.add(static_cast<std::size_t>(stats.cycles));
+        acc.cycleHistogram.add(static_cast<std::size_t>(stats->cycles));
 }
 
 Syndrome &
@@ -137,7 +139,7 @@ LifetimeSimulator::decodeLifetime(ErrorType type, Decoder &decoder,
         extractSyndromeInto(state_, type, syn);
     decoder.decode(syn, *ws_);
     ws_->correction.applyTo(state_, type);
-    recordMeshStats(decoder, acc);
+    recordMeshStats(decoder.meshStats(), acc);
 }
 
 bool
@@ -151,7 +153,7 @@ LifetimeSimulator::decodeFamily(ErrorType type, Decoder &decoder,
         extractSyndromeInto(state, type, syn);
     decoder.decode(syn, *ws_);
     ws_->correction.applyTo(state, type);
-    recordMeshStats(decoder, acc);
+    recordMeshStats(decoder.meshStats(), acc);
 
     const FailureReport report = classifyResidual(state, type);
     if (report.syndromeNonzero)
@@ -199,6 +201,94 @@ LifetimeSimulator::runRound(MonteCarloResult &acc)
     return failed;
 }
 
+bool
+LifetimeSimulator::runBatch(std::size_t count, MonteCarloResult &acc,
+                            const StopRule &rule)
+{
+    while (batchStates_.size() < count)
+        batchStates_.emplace_back(lattice_);
+    while (batchSynZ_.size() < count)
+        batchSynZ_.emplace_back(lattice_, ErrorType::Z);
+    if (xDecoder_)
+        while (batchSynX_.size() < count)
+            batchSynX_.emplace_back(lattice_, ErrorType::X);
+    synPtrs_.resize(count);
+
+    // Sample every round of the group up front — the exact RNG draw
+    // sequence of `count` scalar rounds.
+    for (std::size_t l = 0; l < count; ++l) {
+        batchStates_[l].clear();
+        model_.sample(rng_, batchStates_[l]);
+    }
+
+    // Z family: extract all, decode the lane group, apply.
+    for (std::size_t l = 0; l < count; ++l) {
+        if (throughCircuits_)
+            circuit_->extractInto(batchStates_[l], ErrorType::Z,
+                                  batchSynZ_[l]);
+        else
+            extractSyndromeInto(batchStates_[l], ErrorType::Z,
+                                batchSynZ_[l]);
+        synPtrs_[l] = &batchSynZ_[l];
+    }
+    zDecoder_.decodeBatch(synPtrs_.data(), count, *ws_);
+    for (std::size_t l = 0; l < count; ++l)
+        ws_->laneCorrections[l].applyTo(batchStates_[l], ErrorType::Z);
+
+    // X family (depolarizing runs); X corrections touch only the X
+    // planes, so classifying Z afterwards sees the same residual the
+    // scalar loop classifies between the two decodes.
+    if (xDecoder_) {
+        for (std::size_t l = 0; l < count; ++l) {
+            if (throughCircuits_)
+                circuit_->extractInto(batchStates_[l], ErrorType::X,
+                                      batchSynX_[l]);
+            else
+                extractSyndromeInto(batchStates_[l], ErrorType::X,
+                                    batchSynX_[l]);
+            synPtrs_[l] = &batchSynX_[l];
+        }
+        xDecoder_->decodeBatch(synPtrs_.data(), count, *ws_);
+        for (std::size_t l = 0; l < count; ++l)
+            ws_->laneCorrections[l].applyTo(batchStates_[l],
+                                            ErrorType::X);
+    }
+
+    // Classify and aggregate in round order: telemetry and counter
+    // updates interleave exactly as the scalar loop's (decoders retain
+    // per-lane stats, so Z and X stats of round l are recorded
+    // back-to-back even though the decodes ran family-batched).
+    for (std::size_t l = 0; l < count; ++l) {
+        recordMeshStats(zDecoder_.meshStats(l), acc);
+        const FailureReport z_report =
+            classifyResidual(batchStates_[l], ErrorType::Z);
+        if (z_report.syndromeNonzero)
+            ++acc.syndromeResidualFailures;
+        bool failed = z_report.failed();
+        if (xDecoder_) {
+            recordMeshStats(xDecoder_->meshStats(l), acc);
+            const FailureReport x_report =
+                classifyResidual(batchStates_[l], ErrorType::X);
+            if (x_report.syndromeNonzero)
+                ++acc.syndromeResidualFailures;
+            failed |= x_report.failed();
+        } else {
+            require(batchStates_[l].weight(ErrorType::X) == 0,
+                    "LifetimeSimulator: X errors present but no X "
+                    "decoder");
+        }
+        ++acc.trials;
+        if (failed)
+            ++acc.failures;
+        // Stop-rule hit mid-group: drop the remaining lanes, exactly
+        // as the scalar loop would never have run those rounds.
+        if (acc.trials >= rule.minTrials &&
+            acc.failures >= rule.targetFailures)
+            return true;
+    }
+    return false;
+}
+
 MonteCarloResult
 LifetimeSimulator::run(const StopRule &rule)
 {
@@ -206,11 +296,20 @@ LifetimeSimulator::run(const StopRule &rule)
     acc.cycleHistogram =
         Histogram(static_cast<std::size_t>(128 * (lattice_.gridSize()
                                                   + 2)));
-    while (acc.trials < rule.maxTrials) {
-        runRound(acc);
-        if (acc.trials >= rule.minTrials &&
-            acc.failures >= rule.targetFailures)
-            break;
+    if (batchLanes_ > 1 && !lifetimeMode_) {
+        while (acc.trials < rule.maxTrials) {
+            const std::size_t group = std::min(
+                batchLanes_, rule.maxTrials - acc.trials);
+            if (runBatch(group, acc, rule))
+                break;
+        }
+    } else {
+        while (acc.trials < rule.maxTrials) {
+            runRound(acc);
+            if (acc.trials >= rule.minTrials &&
+                acc.failures >= rule.targetFailures)
+                break;
+        }
     }
     acc.finalize();
     return acc;

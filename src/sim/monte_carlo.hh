@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
-#include "core/mesh_decoder.hh"
 #include "decoders/decoder.hh"
 #include "surface/error_model.hh"
 #include "surface/logical.hh"
@@ -128,6 +128,19 @@ class LifetimeSimulator
     void setLifetimeMode(bool lifetime) { lifetimeMode_ = lifetime; }
     bool lifetimeMode() const { return lifetimeMode_; }
 
+    /**
+     * Group up to @p lanes rounds per Decoder::decodeBatch call in
+     * per-round mode, feeding the mesh decoder's lane-packed substrate
+     * (software decoders fall back to a scalar loop). Error sampling,
+     * syndrome extraction and classification run batched too, in the
+     * exact per-round order of the scalar loop, so every aggregate —
+     * counters, cycle statistics, histograms — is byte-identical to
+     * lanes = 1 for the same seed. Ignored in lifetime mode, where
+     * round k + 1's state depends on round k's correction.
+     */
+    void setBatchLanes(std::size_t lanes);
+    std::size_t batchLanes() const { return batchLanes_; }
+
     /** Run @p rule-governed rounds and aggregate. */
     MonteCarloResult run(const StopRule &rule);
 
@@ -139,7 +152,10 @@ class LifetimeSimulator
                       ErrorState &state, MonteCarloResult &acc);
     void decodeLifetime(ErrorType type, Decoder &decoder,
                         MonteCarloResult &acc);
-    void recordMeshStats(Decoder &decoder, MonteCarloResult &acc) const;
+    void recordMeshStats(const MeshDecodeStats *stats,
+                         MonteCarloResult &acc) const;
+    bool runBatch(std::size_t count, MonteCarloResult &acc,
+                  const StopRule &rule);
 
     Syndrome &scratchSyndrome(ErrorType type);
 
@@ -152,11 +168,14 @@ class LifetimeSimulator
     bool lifetimeMode_ = false;
     /** Built only for circuit-based extraction (it is not cheap). */
     std::unique_ptr<StabilizerCircuit> circuit_;
-    MeshDecoder *meshZ_ = nullptr; ///< cached downcasts (telemetry)
-    MeshDecoder *meshX_ = nullptr;
     ErrorState state_;
     Syndrome synZ_; ///< extraction scratch, Z-error family
     Syndrome synX_; ///< extraction scratch, X-error family
+    std::size_t batchLanes_ = 1;
+    /** Batched-round scratch, grown to the lane-group high-water mark. */
+    std::vector<ErrorState> batchStates_;
+    std::vector<Syndrome> batchSynZ_, batchSynX_;
+    std::vector<const Syndrome *> synPtrs_;
     TrialWorkspace *ws_;                 ///< borrowed (or owned_)
     std::unique_ptr<TrialWorkspace> owned_;
     bool zParity_ = false; ///< lifetime-mode crossing parity trackers

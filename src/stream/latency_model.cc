@@ -2,18 +2,19 @@
 
 #include "backlog/distance_model.hh"
 #include "common/logging.hh"
-#include "core/mesh_decoder.hh"
+#include "core/mesh_stats.hh"
 
 namespace nisqpp {
 
 double
-StreamLatencyModel::decodeNs(const MeshDecoder *mesh, int hotWeight) const
+StreamLatencyModel::decodeNs(const MeshDecodeStats *stats,
+                             int hotWeight) const
 {
     if (meshCycles) {
-        require(mesh != nullptr,
+        require(stats != nullptr,
                 "StreamLatencyModel: meshCycles set but the decoder "
-                "is not a MeshDecoder");
-        return mesh->lastStats().cycles * meshPeriodPs * 1e-3;
+                "reports no mesh telemetry");
+        return stats->cycles * meshPeriodPs * 1e-3;
     }
     return baseNs + perHotNs * hotWeight;
 }

@@ -17,7 +17,7 @@
 
 namespace nisqpp {
 
-class MeshDecoder;
+struct MeshDecodeStats;
 
 /** Modeled decode time of one syndrome round, in nanoseconds. */
 struct StreamLatencyModel
@@ -32,7 +32,8 @@ struct StreamLatencyModel
 
     /**
      * Take the latency from the mesh decoder's simulated cycle count
-     * instead of the base/perHot terms (requires a MeshDecoder).
+     * instead of the base/perHot terms (requires a decoder exposing
+     * mesh telemetry through Decoder::meshStats()).
      */
     bool meshCycles = false;
 
@@ -40,11 +41,11 @@ struct StreamLatencyModel
     double meshPeriodPs = 162.72;
 
     /**
-     * Latency of the round just decoded. @p mesh is the decoder's
-     * MeshDecoder downcast (null for software decoders); @p hotWeight
-     * is the decoded syndrome's hot-ancilla count.
+     * Latency of the round just decoded. @p stats is the decoder's
+     * Decoder::meshStats() telemetry (null for software decoders);
+     * @p hotWeight is the decoded syndrome's hot-ancilla count.
      */
-    double decodeNs(const MeshDecoder *mesh, int hotWeight) const;
+    double decodeNs(const MeshDecodeStats *stats, int hotWeight) const;
 
     /** The SFQ mesh: measured cycles x clock period. */
     static StreamLatencyModel mesh(double periodPs = 162.72);

@@ -5,7 +5,6 @@
 #include <memory>
 
 #include "common/logging.hh"
-#include "core/mesh_decoder.hh"
 #include "decoders/workspace.hh"
 #include "stream/stream_queue.hh"
 #include "stream/syndrome_stream.hh"
@@ -37,11 +36,10 @@ runStream(const StreamConfig &config, Decoder &decoder,
         owned = std::make_unique<TrialWorkspace>();
         workspace = owned.get();
     }
-    const MeshDecoder *mesh = dynamic_cast<MeshDecoder *>(&decoder);
     if (config.latency.meshCycles)
-        require(mesh != nullptr,
-                "runStream: mesh-cycle latency model needs a "
-                "MeshDecoder consumer");
+        require(decoder.meshStats() != nullptr,
+                "runStream: mesh-cycle latency model needs a decoder "
+                "with mesh telemetry");
 
     const DephasingModel model(config.physicalRate);
     SyndromeStream stream(*config.lattice, model, ErrorType::Z,
@@ -107,7 +105,8 @@ runStream(const StreamConfig &config, Decoder &decoder,
             (*observer)(k, syndrome, workspace->correction);
 
         const double serviceNs =
-            config.latency.decodeNs(mesh, syndrome.weight());
+            config.latency.decodeNs(decoder.meshStats(),
+                                    syndrome.weight());
         result.serviceNs.add(serviceNs);
         serviceHist.add(
             static_cast<std::size_t>(std::llround(serviceNs)));

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Lane-packed batch decoding pinned to the scalar mesh path: for every
+ * distance/variant the experiments run, decodeBatch() must produce
+ * corrections AND per-lane telemetry bit-identical to one-at-a-time
+ * scalar decodes of the same syndromes — including lanes that hit
+ * quiescence or the cycle cap while sibling lanes keep stepping, and
+ * empty lanes that finish at cycle 0 next to heavy ones.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "core/mesh_decoder.hh"
+#include "decoders/union_find_decoder.hh"
+#include "decoders/workspace.hh"
+
+namespace nisqpp {
+namespace {
+
+/** All four incremental designs of the paper's Fig. 10 top row. */
+std::vector<MeshConfig>
+allVariants()
+{
+    return {MeshConfig::baseline(), MeshConfig::withReset(),
+            MeshConfig::withResetAndBoundary(),
+            MeshConfig::finalDesign()};
+}
+
+/** Random syndrome: each ancilla hot with probability @p p. */
+Syndrome
+randomSyndrome(const SurfaceLattice &lat, ErrorType type, double p,
+               Rng &rng)
+{
+    Syndrome syn(lat, type);
+    for (int a = 0; a < lat.numAncilla(type); ++a)
+        if (rng.bernoulli(p))
+            syn.set(a, true);
+    return syn;
+}
+
+/**
+ * Decode @p syns scalar one-by-one through @p reference and batched
+ * through @p batched, asserting bit-identical corrections and stats.
+ */
+void
+expectBatchMatchesScalar(MeshDecoder &reference, MeshDecoder &batched,
+                         const std::vector<Syndrome> &syns,
+                         const char *label)
+{
+    std::vector<Correction> expected;
+    std::vector<MeshDecodeStats> expectedStats;
+    for (const Syndrome &syn : syns) {
+        expected.push_back(reference.decode(syn));
+        expectedStats.push_back(reference.lastStats());
+    }
+
+    std::vector<const Syndrome *> ptrs;
+    for (const Syndrome &syn : syns)
+        ptrs.push_back(&syn);
+    TrialWorkspace ws;
+    batched.decodeBatch(ptrs.data(), ptrs.size(), ws);
+
+    ASSERT_GE(ws.laneCorrections.size(), syns.size()) << label;
+    for (std::size_t i = 0; i < syns.size(); ++i) {
+        EXPECT_EQ(ws.laneCorrections[i].dataFlips,
+                  expected[i].dataFlips)
+            << label << ": correction of lane " << i;
+        const MeshDecodeStats *stats = batched.meshStats(i);
+        ASSERT_NE(stats, nullptr) << label << ": lane " << i;
+        EXPECT_EQ(*stats, expectedStats[i])
+            << label << ": stats of lane " << i << " (cycles "
+            << stats->cycles << " vs " << expectedStats[i].cycles
+            << ")";
+    }
+    EXPECT_EQ(batched.meshStats(syns.size()), nullptr) << label;
+}
+
+TEST(MeshBatch, LaneCountTracksSpan)
+{
+    // Lane width is the row span 2d + 1 (the grid plus the boundary
+    // ring), so each 64-bit element of the batch word carries
+    // 64 / span sub-lanes and the engine steps elements x that many
+    // trials at once, capped at kMaxLanes.
+    constexpr int elements =
+        static_cast<int>(sizeof(MeshDecoder::BatchWord) / 8);
+    for (int d : {3, 5, 7, 9}) {
+        SurfaceLattice lat(d);
+        const int span = lat.gridSize() + 2;
+        const int expected = std::min(MeshDecoder::kMaxLanes,
+                                      elements * (64 / span));
+        EXPECT_EQ(MeshDecoder(lat, ErrorType::Z).batchLanes(), expected)
+            << "d=" << d;
+        EXPECT_GE(expected, 4) << "d=" << d;
+    }
+}
+
+TEST(MeshBatch, MatchesScalarAcrossDistancesAndVariants)
+{
+    Rng rng(0xba7c4ULL);
+    for (int d : {3, 5, 7, 9}) {
+        SurfaceLattice lat(d);
+        for (const MeshConfig &config : allVariants()) {
+            for (ErrorType type : {ErrorType::Z, ErrorType::X}) {
+                MeshDecoder reference(lat, type, config);
+                MeshDecoder batched(lat, type, config);
+                // Mixed severity: empty lanes, typical p = 5% lanes
+                // and heavy p = 25% lanes inside the same batch.
+                std::vector<Syndrome> syns;
+                for (double p : {0.0, 0.05, 0.05, 0.25, 0.05, 0.25,
+                                 0.0, 0.15, 0.05, 0.25, 0.05})
+                    syns.push_back(
+                        randomSyndrome(lat, type, p, rng));
+                const std::string label =
+                    "d=" + std::to_string(d) + " " + config.label() +
+                    (type == ErrorType::Z ? " Z" : " X");
+                expectBatchMatchesScalar(reference, batched, syns,
+                                         label.c_str());
+            }
+        }
+    }
+}
+
+TEST(MeshBatch, QuiescedAndCappedLanesFreezeIndependently)
+{
+    Rng rng(0x0ddba11ULL);
+    for (int d : {5, 9}) {
+        SurfaceLattice lat(d);
+        for (const MeshConfig &config : allVariants()) {
+            MeshDecoder reference(lat, ErrorType::Z, config);
+            MeshDecoder batched(lat, ErrorType::Z, config);
+            // A tight cap and quiescence window force cap/quiescence
+            // exits on heavy lanes while empty lanes still complete
+            // normally at cycle 0.
+            reference.setLimitsForTest(3 * d, 4);
+            batched.setLimitsForTest(3 * d, 4);
+            std::vector<Syndrome> syns;
+            for (double p : {0.35, 0.0, 0.2, 0.35, 0.0, 0.5, 0.1,
+                             0.35, 0.2})
+                syns.push_back(randomSyndrome(lat, ErrorType::Z, p,
+                                              rng));
+            const std::string label = "capped d=" + std::to_string(d) +
+                                      " " + config.label();
+            expectBatchMatchesScalar(reference, batched, syns,
+                                     label.c_str());
+
+            // The point of the tight limits: the batch must actually
+            // contain lanes that exited three different ways.
+            bool sawNormal = false, sawLimit = false;
+            for (std::size_t i = 0; i < syns.size(); ++i) {
+                const MeshDecodeStats &s = *batched.meshStats(i);
+                sawNormal |= !s.quiesced && !s.timedOut;
+                sawLimit |= s.quiesced || s.timedOut;
+            }
+            EXPECT_TRUE(sawNormal) << label;
+            EXPECT_TRUE(sawLimit) << label;
+        }
+    }
+}
+
+TEST(MeshBatch, DivergingCompletionCyclesWithinOneWord)
+{
+    // One word carries lanes finishing at different cycles: an empty
+    // lane (0 cycles), a single-pair lane and a multi-pair lane.
+    SurfaceLattice lat(5);
+    MeshDecoder reference(lat, ErrorType::Z);
+    MeshDecoder batched(lat, ErrorType::Z);
+
+    std::vector<Syndrome> syns(8, Syndrome(lat, ErrorType::Z));
+    syns[1].set(0, true);
+    syns[1].set(1, true);
+    for (int a = 0; a < lat.numAncilla(ErrorType::Z); a += 2)
+        syns[3].set(a, true);
+    syns[5].set(4, true);
+    syns[5].set(7, true);
+    expectBatchMatchesScalar(reference, batched, syns,
+                             "diverging-cycles");
+
+    std::vector<int> cycles;
+    for (int i = 0; i < 8; ++i)
+        cycles.push_back(batched.meshStats(i)->cycles);
+    EXPECT_EQ(cycles[0], 0);
+    EXPECT_GT(cycles[3], 0);
+    EXPECT_NE(cycles[1], cycles[3]);
+}
+
+TEST(MeshBatch, SoftwareFallbackLoopMatchesScalar)
+{
+    // The Decoder base class serves batches through a scalar loop:
+    // same corrections as one-at-a-time decodes.
+    SurfaceLattice lat(7);
+    UnionFindDecoder dec(lat, ErrorType::Z);
+    Rng rng(0x5caff01dULL);
+
+    std::vector<Syndrome> syns;
+    for (double p : {0.0, 0.05, 0.2, 0.1, 0.05})
+        syns.push_back(randomSyndrome(lat, ErrorType::Z, p, rng));
+
+    std::vector<Correction> expected;
+    for (const Syndrome &syn : syns)
+        expected.push_back(dec.decode(syn));
+
+    std::vector<const Syndrome *> ptrs;
+    for (const Syndrome &syn : syns)
+        ptrs.push_back(&syn);
+    TrialWorkspace ws;
+    dec.decodeBatch(ptrs.data(), ptrs.size(), ws);
+    for (std::size_t i = 0; i < syns.size(); ++i)
+        EXPECT_EQ(ws.laneCorrections[i].dataFlips,
+                  expected[i].dataFlips);
+    EXPECT_EQ(dec.meshStats(), nullptr);
+}
+
+TEST(MeshBatch, RepeatedBatchesReuseStateCleanly)
+{
+    // Back-to-back batches of different sizes through one decoder and
+    // one workspace: later batches must not see earlier lanes' state.
+    SurfaceLattice lat(9);
+    MeshDecoder reference(lat, ErrorType::Z);
+    MeshDecoder batched(lat, ErrorType::Z);
+    Rng rng(0x2ea7edULL);
+    TrialWorkspace ws;
+
+    for (std::size_t size : {7u, 3u, 8u, 1u, 5u}) {
+        std::vector<Syndrome> syns;
+        for (std::size_t i = 0; i < size; ++i)
+            syns.push_back(
+                randomSyndrome(lat, ErrorType::Z, 0.12, rng));
+        std::vector<const Syndrome *> ptrs;
+        for (const Syndrome &syn : syns)
+            ptrs.push_back(&syn);
+        batched.decodeBatch(ptrs.data(), ptrs.size(), ws);
+        for (std::size_t i = 0; i < size; ++i) {
+            const Correction expected = reference.decode(syns[i]);
+            EXPECT_EQ(ws.laneCorrections[i].dataFlips,
+                      expected.dataFlips)
+                << "batch size " << size << " lane " << i;
+            EXPECT_EQ(*batched.meshStats(i), reference.lastStats());
+        }
+    }
+}
+
+} // namespace
+} // namespace nisqpp

@@ -104,6 +104,83 @@ TEST(EngineDeterminism, EarlyStopIsThreadCountInvariant)
     EXPECT_LT(a.cells[0][0].trials, 4000u);
 }
 
+TEST(EngineDeterminism, BatchedLanesMatchScalarAtAnyThreadCount)
+{
+    // The headline guarantee extended to the lane-packed batch path:
+    // a 4-thread engine decoding 256-round groups produces the same
+    // bytes as a 1-thread scalar engine, for the same seed and shard
+    // size. Group boundaries (including odd sizes that straddle shard
+    // remainders) never leak into the aggregates.
+    SweepConfig config;
+    config.distances = {3, 5};
+    config.physicalRates = {0.05, 0.1};
+    config.stopRule = {600, 600, 1u << 30};
+    config.seed = 0xbeefULL;
+    const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
+
+    EngineOptions scalar;
+    scalar.threads = 1;
+    scalar.shardTrials = 128;
+    scalar.batchLanes = 1;
+    EngineOptions batchedOdd = scalar;
+    batchedOdd.batchLanes = 7;
+    EngineOptions batchedMt = scalar;
+    batchedMt.threads = 4;
+    batchedMt.batchLanes = 256;
+
+    Engine a(scalar), b(batchedOdd), c(batchedMt);
+    const SweepResult reference = a.runSweep(config, factory);
+    expectIdentical(reference, b.runSweep(config, factory));
+    expectIdentical(reference, c.runSweep(config, factory));
+}
+
+TEST(EngineDeterminism, BatchedDepolarizingSweepMatchesScalar)
+{
+    // Depolarizing cells decode both families; the batched path
+    // interleaves Z/X telemetry per round exactly like the scalar
+    // loop, so even the Welford accumulations agree bit-for-bit.
+    SweepConfig config;
+    config.distances = {3};
+    config.physicalRates = {0.06};
+    config.depolarizing = true;
+    config.stopRule = {300, 300, 1u << 30};
+    config.seed = 0xd0d0ULL;
+    const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
+
+    EngineOptions scalar;
+    scalar.threads = 1;
+    scalar.shardTrials = 100;
+    EngineOptions batched = scalar;
+    batched.threads = 3;
+    batched.batchLanes = 33;
+
+    Engine a(scalar), b(batched);
+    expectIdentical(a.runSweep(config, factory),
+                    b.runSweep(config, factory));
+}
+
+TEST(EngineDeterminism, CellSpecBatchLanesOverridesEngineDefault)
+{
+    SurfaceLattice lattice(3);
+    const DecoderFactory factory =
+        meshDecoderFactory(MeshConfig::finalDesign());
+    CellSpec cell;
+    cell.lattice = &lattice;
+    cell.physicalRate = 0.08;
+    cell.rule = {400, 400, 1u << 30};
+    cell.seed = 7;
+    cell.factory = &factory;
+
+    EngineOptions scalarOptions; // engine default: scalar
+    Engine engine(scalarOptions);
+    const MonteCarloResult reference = engine.runCell(cell);
+    cell.batchLanes = 64; // per-cell override onto the batch path
+    const MonteCarloResult batched = engine.runCell(cell);
+    EXPECT_EQ(reference.trials, batched.trials);
+    EXPECT_EQ(reference.failures, batched.failures);
+    EXPECT_DOUBLE_EQ(reference.cycles.mean(), batched.cycles.mean());
+}
+
 TEST(EngineDeterminism, RepeatedRunsIdentical)
 {
     const SweepConfig config = smallSweep();

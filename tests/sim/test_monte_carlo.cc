@@ -4,6 +4,7 @@
 
 #include <cstdlib>
 
+#include "core/mesh_decoder.hh"
 #include "decoders/mwpm_decoder.hh"
 #include "sim/monte_carlo.hh"
 
@@ -214,6 +215,118 @@ TEST(MonteCarlo, WilsonIntervalBracketsRate)
     const auto res = sim.run(rule);
     EXPECT_LE(res.ci.lo, res.logicalErrorRate);
     EXPECT_GE(res.ci.hi, res.logicalErrorRate);
+}
+
+/** Every aggregate field, including FP accumulations, bit-for-bit. */
+void
+expectSameAggregates(const MonteCarloResult &a, const MonteCarloResult &b)
+{
+    EXPECT_EQ(a.trials, b.trials);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.syndromeResidualFailures, b.syndromeResidualFailures);
+    EXPECT_DOUBLE_EQ(a.logicalErrorRate, b.logicalErrorRate);
+    EXPECT_EQ(a.cycles.count(), b.cycles.count());
+    EXPECT_DOUBLE_EQ(a.cycles.mean(), b.cycles.mean());
+    EXPECT_DOUBLE_EQ(a.cycles.variance(), b.cycles.variance());
+    EXPECT_DOUBLE_EQ(a.cycles.max(), b.cycles.max());
+    ASSERT_EQ(a.cycleHistogram.numBins(), b.cycleHistogram.numBins());
+    EXPECT_EQ(a.cycleHistogram.total(), b.cycleHistogram.total());
+    for (std::size_t bin = 0; bin < a.cycleHistogram.numBins(); ++bin)
+        EXPECT_EQ(a.cycleHistogram.bin(bin), b.cycleHistogram.bin(bin));
+}
+
+TEST(MonteCarlo, BatchLanesPreserveAggregates)
+{
+    // The batched per-round protocol consumes the same RNG sequence
+    // and records telemetry in the same round order as the scalar
+    // loop, so every aggregate is byte-identical for any group size —
+    // including odd ones that straddle run boundaries.
+    SurfaceLattice lat(5);
+    DephasingModel model(0.08);
+    const StopRule rule{301, 301, ~std::size_t{0}};
+
+    MeshDecoder scalar_dec(lat, ErrorType::Z);
+    LifetimeSimulator scalar(lat, model, scalar_dec, nullptr, 1234);
+    const MonteCarloResult reference = scalar.run(rule);
+
+    for (std::size_t lanes : {2u, 7u, 64u}) {
+        MeshDecoder dec(lat, ErrorType::Z);
+        LifetimeSimulator batched(lat, model, dec, nullptr, 1234);
+        batched.setBatchLanes(lanes);
+        expectSameAggregates(reference, batched.run(rule));
+    }
+}
+
+TEST(MonteCarlo, BatchedDepolarizingRunsBothFamilies)
+{
+    SurfaceLattice lat(3);
+    DepolarizingModel model(0.06);
+    const StopRule rule{250, 250, ~std::size_t{0}};
+
+    MeshDecoder z1(lat, ErrorType::Z), x1(lat, ErrorType::X);
+    LifetimeSimulator scalar(lat, model, z1, &x1, 777);
+    const MonteCarloResult reference = scalar.run(rule);
+
+    MeshDecoder z2(lat, ErrorType::Z), x2(lat, ErrorType::X);
+    LifetimeSimulator batched(lat, model, z2, &x2, 777);
+    batched.setBatchLanes(32);
+    expectSameAggregates(reference, batched.run(rule));
+}
+
+TEST(MonteCarlo, BatchedEarlyStopMatchesScalar)
+{
+    // The stop rule can trip mid-group; the surplus lanes must be
+    // discarded so counters match the scalar loop exactly.
+    SurfaceLattice lat(3);
+    DephasingModel model(0.15);
+    const StopRule rule{10, 4000, 25};
+
+    MeshDecoder d1(lat, ErrorType::Z);
+    LifetimeSimulator scalar(lat, model, d1, nullptr, 42);
+    const MonteCarloResult reference = scalar.run(rule);
+    ASSERT_GE(reference.failures, 25u);
+    ASSERT_LT(reference.trials, 4000u);
+
+    MeshDecoder d2(lat, ErrorType::Z);
+    LifetimeSimulator batched(lat, model, d2, nullptr, 42);
+    batched.setBatchLanes(17);
+    expectSameAggregates(reference, batched.run(rule));
+}
+
+TEST(MonteCarlo, BatchFallsBackToScalarInLifetimeMode)
+{
+    // Lifetime mode carries state across rounds, so the knob must be
+    // a no-op there rather than a protocol change.
+    SurfaceLattice lat(3);
+    DephasingModel model(0.1);
+    const StopRule rule{200, 200, ~std::size_t{0}};
+
+    MeshDecoder d1(lat, ErrorType::Z);
+    LifetimeSimulator scalar(lat, model, d1, nullptr, 9);
+    scalar.setLifetimeMode(true);
+    const MonteCarloResult reference = scalar.run(rule);
+
+    MeshDecoder d2(lat, ErrorType::Z);
+    LifetimeSimulator batched(lat, model, d2, nullptr, 9);
+    batched.setLifetimeMode(true);
+    batched.setBatchLanes(16);
+    expectSameAggregates(reference, batched.run(rule));
+}
+
+TEST(MonteCarlo, BatchedSoftwareDecoderUsesFallbackLoop)
+{
+    SurfaceLattice lat(3);
+    DephasingModel model(0.08);
+    const StopRule rule{200, 200, ~std::size_t{0}};
+
+    MwpmDecoder d1(lat, ErrorType::Z);
+    LifetimeSimulator scalar(lat, model, d1, nullptr, 11);
+    const MonteCarloResult reference = scalar.run(rule);
+
+    MwpmDecoder d2(lat, ErrorType::Z);
+    LifetimeSimulator batched(lat, model, d2, nullptr, 11);
+    batched.setBatchLanes(8);
+    expectSameAggregates(reference, batched.run(rule));
 }
 
 } // namespace

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Guardrail for the tracked hot-path benchmark: diff two micro_hotpath
+ * JSON artifacts (e.g. BENCH_hotpath.json against
+ * bench/BENCH_hotpath_baseline.json, or a batching-on run against a
+ * batching-off run).
+ *
+ *   bench_compare BASELINE.json CURRENT.json
+ *
+ * Physics columns are compared exactly: any PL or trial-count
+ * difference on a (decoder, d) row present in both artifacts is a
+ * hard failure — throughput work must never change trajectories.
+ * Rows that exist only in the current artifact are reported as new;
+ * rows that disappeared fail. As an internal consistency check, the
+ * sfq_mesh_batch rows of each artifact must carry byte-identical PL
+ * to that artifact's sfq_mesh rows (the lane-packed path re-decodes
+ * the same cells). Throughput columns are reported as speedup ratios,
+ * never compared: they are host-dependent by nature.
+ *
+ * Exit code 0 = no drift; 1 = drift or malformed input.
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace {
+
+/** Minimal JSON document model (enough for scenario artifacts). */
+struct JsonValue;
+using JsonArray = std::vector<std::shared_ptr<JsonValue>>;
+using JsonObject =
+    std::vector<std::pair<std::string, std::shared_ptr<JsonValue>>>;
+
+struct JsonValue
+{
+    std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                 JsonObject>
+        value;
+
+    const JsonValue *
+    field(const std::string &key) const
+    {
+        if (const auto *obj = std::get_if<JsonObject>(&value))
+            for (const auto &[k, v] : *obj)
+                if (k == key)
+                    return v.get();
+        return nullptr;
+    }
+};
+
+/** Recursive-descent JSON parser; throws std::runtime_error. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parse()
+    {
+        JsonValue v = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing content");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what) const
+    {
+        throw std::runtime_error("JSON error at byte " +
+                                 std::to_string(pos_) + ": " + what);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue{parseString()};
+          case 't': return parseLiteral("true", JsonValue{true});
+          case 'f': return parseLiteral("false", JsonValue{false});
+          case 'n': return parseLiteral("null", JsonValue{nullptr});
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseLiteral(const std::string &word, JsonValue v)
+    {
+        if (text_.compare(pos_, word.size(), word) != 0)
+            fail("bad literal");
+        pos_ += word.size();
+        return v;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            ++pos_;
+        if (pos_ == start)
+            fail("expected a number");
+        return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("bad escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case '"': case '\\': case '/': out += esc; break;
+                  default: fail("unsupported escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonArray items;
+        if (peek() == ']') {
+            ++pos_;
+            return JsonValue{std::move(items)};
+        }
+        while (true) {
+            items.push_back(
+                std::make_shared<JsonValue>(parseValue()));
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return JsonValue{std::move(items)};
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonObject fields;
+        if (peek() == '}') {
+            ++pos_;
+            return JsonValue{std::move(fields)};
+        }
+        while (true) {
+            std::string key = parseString();
+            expect(':');
+            fields.emplace_back(
+                std::move(key),
+                std::make_shared<JsonValue>(parseValue()));
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return JsonValue{std::move(fields)};
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+/** One row of the hotpath table, keyed by (decoder, d). */
+struct HotpathRow
+{
+    std::string trials;
+    std::string pl;
+    double trialsPerSec = 0.0;
+};
+
+using RowKey = std::pair<std::string, std::string>;
+
+/** Extract the "hotpath" table of one artifact into keyed rows. */
+std::map<RowKey, HotpathRow>
+loadHotpath(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.good())
+        throw std::runtime_error("cannot read " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const JsonValue doc = JsonParser(buffer.str()).parse();
+
+    const JsonValue *tables = doc.field("tables");
+    const auto *list =
+        tables ? std::get_if<JsonArray>(&tables->value) : nullptr;
+    if (!list)
+        throw std::runtime_error(path + ": no tables array");
+
+    for (const auto &entry : *list) {
+        const JsonValue *id = entry->field("id");
+        const auto *name =
+            id ? std::get_if<std::string>(&id->value) : nullptr;
+        if (!name || *name != "hotpath")
+            continue;
+        const JsonValue *table = entry->field("table");
+        const JsonValue *header =
+            table ? table->field("header") : nullptr;
+        const JsonValue *rows = table ? table->field("rows") : nullptr;
+        const auto *headerCells =
+            header ? std::get_if<JsonArray>(&header->value) : nullptr;
+        const auto *rowList =
+            rows ? std::get_if<JsonArray>(&rows->value) : nullptr;
+        if (!headerCells || !rowList)
+            throw std::runtime_error(path + ": malformed hotpath "
+                                            "table");
+
+        auto column = [&](const std::string &want) {
+            for (std::size_t c = 0; c < headerCells->size(); ++c) {
+                const auto *cell = std::get_if<std::string>(
+                    &(*headerCells)[c]->value);
+                if (cell && *cell == want)
+                    return static_cast<int>(c);
+            }
+            throw std::runtime_error(path + ": hotpath table has no '" +
+                                     want + "' column");
+        };
+        const int decoderCol = column("decoder");
+        const int dCol = column("d");
+        const int trialsCol = column("trials");
+        const int plCol = column("PL");
+        const int tpsCol = column("trials/s");
+
+        std::map<RowKey, HotpathRow> out;
+        for (const auto &rowVal : *rowList) {
+            const auto *cells = std::get_if<JsonArray>(&rowVal->value);
+            if (!cells)
+                continue;
+            auto text = [&](int c) -> std::string {
+                if (c < 0 || c >= static_cast<int>(cells->size()))
+                    return {};
+                const auto *s = std::get_if<std::string>(
+                    &(*cells)[static_cast<std::size_t>(c)]->value);
+                return s ? *s : std::string();
+            };
+            HotpathRow row;
+            row.trials = text(trialsCol);
+            row.pl = text(plCol);
+            try {
+                row.trialsPerSec = std::stod(text(tpsCol));
+            } catch (...) {
+                row.trialsPerSec = 0.0;
+            }
+            out[{text(decoderCol), text(dCol)}] = row;
+        }
+        return out;
+    }
+    throw std::runtime_error(path + ": no table with id 'hotpath'");
+}
+
+/** sfq_mesh_batch rows must mirror sfq_mesh PL within one artifact. */
+int
+checkInternalBatchParity(const std::map<RowKey, HotpathRow> &rows,
+                         const std::string &label)
+{
+    int drift = 0;
+    for (const auto &[key, row] : rows) {
+        if (key.first != "sfq_mesh_batch")
+            continue;
+        const auto scalarIt = rows.find({"sfq_mesh", key.second});
+        if (scalarIt == rows.end())
+            continue;
+        if (row.pl != scalarIt->second.pl ||
+            row.trials != scalarIt->second.trials) {
+            std::cerr << "FAIL " << label << ": sfq_mesh_batch d="
+                      << key.second << " PL=" << row.pl << " trials="
+                      << row.trials << " != sfq_mesh PL="
+                      << scalarIt->second.pl << " trials="
+                      << scalarIt->second.trials
+                      << " (lane-equivalence drift)\n";
+            ++drift;
+        }
+    }
+    return drift;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3) {
+        std::cerr << "usage: bench_compare BASELINE.json CURRENT.json\n";
+        return 1;
+    }
+    try {
+        const std::string baselinePath = argv[1];
+        const std::string currentPath = argv[2];
+        const auto baseline = loadHotpath(baselinePath);
+        const auto current = loadHotpath(currentPath);
+
+        int drift = 0;
+        drift += checkInternalBatchParity(baseline, baselinePath);
+        drift += checkInternalBatchParity(current, currentPath);
+
+        std::printf("%-16s %-3s %12s %12s %9s  %s\n", "decoder", "d",
+                    "base tr/s", "curr tr/s", "speedup", "PL");
+        for (const auto &[key, base] : baseline) {
+            const auto it = current.find(key);
+            if (it == current.end()) {
+                std::cerr << "FAIL: row (" << key.first << ", d="
+                          << key.second
+                          << ") missing from " << currentPath << "\n";
+                ++drift;
+                continue;
+            }
+            const HotpathRow &cur = it->second;
+            const bool plMatch =
+                base.pl == cur.pl && base.trials == cur.trials;
+            if (!plMatch) {
+                std::cerr << "FAIL: (" << key.first << ", d="
+                          << key.second << ") PL/trials drift: "
+                          << base.pl << "/" << base.trials << " -> "
+                          << cur.pl << "/" << cur.trials << "\n";
+                ++drift;
+            }
+            const double speedup =
+                base.trialsPerSec > 0
+                    ? cur.trialsPerSec / base.trialsPerSec
+                    : 0.0;
+            std::printf("%-16s %-3s %12.4g %12.4g %8.2fx  %s\n",
+                        key.first.c_str(), key.second.c_str(),
+                        base.trialsPerSec, cur.trialsPerSec, speedup,
+                        plMatch ? "ok" : "DRIFT");
+        }
+        for (const auto &[key, cur] : current)
+            if (!baseline.count(key))
+                std::printf("%-16s %-3s %12s %12.4g %9s  new row\n",
+                            key.first.c_str(), key.second.c_str(), "-",
+                            cur.trialsPerSec, "-");
+
+        if (drift) {
+            std::cerr << drift << " drifting row(s); physics columns "
+                                  "must match byte for byte.\n";
+            return 1;
+        }
+        std::puts("PL columns identical; no physics drift.");
+        return 0;
+    } catch (const std::exception &e) {
+        std::cerr << "bench_compare: " << e.what() << "\n";
+        return 1;
+    }
+}

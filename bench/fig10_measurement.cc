@@ -1,0 +1,13 @@
+/**
+ * @file Thin wrapper over the 'fig10_measurement' scenario: dispatches
+ * through the parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials).
+ */
+
+#include "engine/scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    return nisqpp::scenarioMain("fig10_measurement", argc, argv);
+}

@@ -9,6 +9,7 @@
 #define NISQPP_DECODERS_DECODER_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "surface/error_state.hh"
 #include "surface/lattice.hh"
 #include "surface/syndrome.hh"
+#include "surface/syndrome_window.hh"
 
 namespace nisqpp {
 
@@ -78,6 +80,34 @@ class Decoder
                              std::size_t count, TrialWorkspace &ws);
 
     /**
+     * Decode a multi-round measurement window into ws.correction: the
+     * net data flips to commit at the window boundary. The default
+     * implementation reduces the window by round-majority voting and
+     * feeds the result to decode() — correct when measurement noise is
+     * rare relative to the window length. Window-aware decoders (MWPM,
+     * union-find) override this with true spacetime matching over the
+     * detection events and report windowAware() = true.
+     */
+    virtual void decodeWindow(const SyndromeWindow &window,
+                              TrialWorkspace &ws);
+
+    /**
+     * Decode @p count independent windows into
+     * ws.laneCorrections[0..count), each entry exactly what
+     * decodeWindow(*windows[i], ws) would produce (scalar loop; no
+     * decoder has a lane-packed window substrate yet).
+     */
+    virtual void decodeWindowBatch(const SyndromeWindow *const *windows,
+                                   std::size_t count,
+                                   TrialWorkspace &ws);
+
+    /**
+     * Whether decodeWindow runs true spacetime decoding rather than
+     * the round-majority fallback.
+     */
+    virtual bool windowAware() const { return false; }
+
+    /**
      * Mesh telemetry of lane @p lane of the most recent decode (a
      * scalar decode fills lane 0 only). Null for decoders without mesh
      * telemetry and for lanes past the last decode's batch size —
@@ -95,6 +125,8 @@ class Decoder
   private:
     const SurfaceLattice *lattice_;
     ErrorType type_;
+    /** Majority-vote scratch of the fallback decodeWindow (lazy). */
+    std::unique_ptr<Syndrome> windowScratch_;
 };
 
 } // namespace nisqpp

@@ -18,7 +18,27 @@ MatchingGraph::build(const SurfaceLattice &lattice, ErrorType type,
     lattice_ = &lattice;
     type_ = type;
     syndrome.hotListInto(nodes_);
+    times_.clear();
     boundaryDist_.clear();
+    boundaryDist_.reserve(nodes_.size());
+    for (int a : nodes_)
+        boundaryDist_.push_back(lattice.ancillaBoundaryDistance(type, a));
+}
+
+void
+MatchingGraph::buildWindow(const SurfaceLattice &lattice, ErrorType type,
+                           const SyndromeWindow &window)
+{
+    require(window.type() == type, "MatchingGraph: type mismatch");
+    lattice_ = &lattice;
+    type_ = type;
+    nodes_.clear();
+    times_.clear();
+    boundaryDist_.clear();
+    window.forEachEvent([this](int t, int a) {
+        nodes_.push_back(a);
+        times_.push_back(t);
+    });
     boundaryDist_.reserve(nodes_.size());
     for (int a : nodes_)
         boundaryDist_.push_back(lattice.ancillaBoundaryDistance(type, a));

@@ -5,6 +5,13 @@
  * errors connecting them, plus one virtual boundary node per hot ancilla
  * (boundary-boundary edges are free). Shared by the MWPM and greedy
  * software decoders.
+ *
+ * For faulty-measurement decoding, buildWindow() materializes the
+ * *spacetime* variant instead: nodes are the detection events (t, a) of
+ * a SyndromeWindow and pair weights gain a time-like component |dt|
+ * (one measurement flip bridges one round), while boundary legs remain
+ * purely spatial — event chains can only terminate on lattice
+ * boundaries because the window closes with a perfect commit round.
  */
 
 #ifndef NISQPP_DECODERS_MATCHING_GRAPH_HH
@@ -14,6 +21,7 @@
 
 #include "surface/lattice.hh"
 #include "surface/syndrome.hh"
+#include "surface/syndrome_window.hh"
 
 namespace nisqpp {
 
@@ -43,7 +51,24 @@ class MatchingGraph
     void build(const SurfaceLattice &lattice, ErrorType type,
                const Syndrome &syndrome);
 
+    /**
+     * (Re)materialize the spacetime graph on the detection events of
+     * @p window, reusing internal buffers. Nodes carry a round index
+     * (nodeTime) and pairWeight adds the time-like |dt| term.
+     */
+    void buildWindow(const SurfaceLattice &lattice, ErrorType type,
+                     const SyndromeWindow &window);
+
     int numNodes() const { return static_cast<int>(nodes_.size()); }
+
+    /** Round index of node @p i; -1 on space-only builds. */
+    int
+    nodeTime(int i) const
+    {
+        NISQPP_DCHECK(i >= 0 && i < numNodes(),
+                      "MatchingGraph::nodeTime: node out of range");
+        return times_.empty() ? -1 : times_[i];
+    }
 
     /** Compact ancilla index of node @p i (hot path, DCHECKed). */
     int
@@ -54,15 +79,24 @@ class MatchingGraph
         return nodes_[i];
     }
 
-    /** Chain length (number of data errors) between nodes i and j. */
+    /**
+     * Chain length between nodes i and j: data errors on the spatial
+     * leg plus, on spacetime builds, measurement flips on the
+     * time-like leg (|dt| rounds).
+     */
     int
     pairWeight(int i, int j) const
     {
         NISQPP_DCHECK(i >= 0 && i < numNodes() && j >= 0 &&
                           j < numNodes(),
                       "MatchingGraph::pairWeight: node out of range");
-        return lattice_->ancillaGraphDistance(type_, nodes_[i],
-                                              nodes_[j]);
+        int w = lattice_->ancillaGraphDistance(type_, nodes_[i],
+                                               nodes_[j]);
+        if (!times_.empty()) {
+            const int dt = times_[i] - times_[j];
+            w += dt < 0 ? -dt : dt;
+        }
+        return w;
     }
 
     /** Chain length from node @p i to its nearest valid boundary. */
@@ -81,6 +115,7 @@ class MatchingGraph
     const SurfaceLattice *lattice_ = nullptr;
     ErrorType type_ = ErrorType::Z;
     std::vector<int> nodes_;
+    std::vector<int> times_; ///< node round indices; empty = space-only
     std::vector<int> boundaryDist_;
 };
 

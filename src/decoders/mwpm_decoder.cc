@@ -22,12 +22,31 @@ MwpmDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
     pairs_.clear();
     ws.correction.clear();
     ws.graph.build(lattice(), type(), syndrome);
+    matchBuiltGraph(ws);
+}
+
+void
+MwpmDecoder::decodeWindow(const SyndromeWindow &window,
+                          TrialWorkspace &ws)
+{
+    pairs_.clear();
+    ws.correction.clear();
+    ws.graph.buildWindow(lattice(), type(), window);
+    matchBuiltGraph(ws);
+}
+
+void
+MwpmDecoder::matchBuiltGraph(TrialWorkspace &ws)
+{
     const MatchingGraph &graph = ws.graph;
     const int k = graph.numNodes();
     if (k == 0)
         return;
 
-    // Nodes 0..k-1 are syndromes; k..2k-1 their private boundary nodes.
+    // Nodes 0..k-1 are defects (hot ancillas, or detection events on
+    // spacetime builds); k..2k-1 their private boundary nodes, with
+    // free boundary-boundary edges. pairWeight carries the time-like
+    // |dt| term on spacetime builds.
     BlossomMatcher &matcher = ws.matcher;
     matcher.reset(2 * k);
     for (int i = 0; i < k; ++i) {
@@ -49,10 +68,13 @@ MwpmDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
         } else if (m < k && m > i) {
             pairs_.push_back({graph.ancillaOf(i), graph.ancillaOf(m),
                               false});
-            appendChainBetweenAncillas(lattice(), type(),
-                                       graph.ancillaOf(i),
-                                       graph.ancillaOf(m),
-                                       ws.correction.dataFlips);
+            // A pure time-like pairing (same ancilla, different
+            // rounds) is a measurement error: no data flips.
+            if (graph.ancillaOf(i) != graph.ancillaOf(m))
+                appendChainBetweenAncillas(lattice(), type(),
+                                           graph.ancillaOf(i),
+                                           graph.ancillaOf(m),
+                                           ws.correction.dataFlips);
         }
     }
 }

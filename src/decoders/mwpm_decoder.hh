@@ -26,12 +26,31 @@ class MwpmDecoder : public Decoder
     Correction decode(const Syndrome &syndrome) override;
     void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
+    /**
+     * Spacetime MWPM over a faulty-measurement window: exact blossom
+     * matching on the detection events with time-like edge weights
+     * (MatchingGraph::buildWindow). Time-like legs flip no data
+     * qubits — they re-interpret measurement flips — so the committed
+     * correction is the XOR of the spatial chain segments only.
+     */
+    void decodeWindow(const SyndromeWindow &window,
+                      TrialWorkspace &ws) override;
+    bool windowAware() const override { return true; }
+
     std::string name() const override { return "mwpm"; }
 
     /** The pairing decisions of the last decode (for inspection). */
     const std::vector<MatchPair> &lastMatching() const { return pairs_; }
 
   private:
+    /**
+     * Shared matcher body: solve ws.graph (already built, space-only
+     * or spacetime) with the blossom matcher and emit pairs_ +
+     * ws.correction. Space-only graphs never pair two nodes of the
+     * same ancilla, so the pure-time-like skip is a no-op there.
+     */
+    void matchBuiltGraph(TrialWorkspace &ws);
+
     std::vector<MatchPair> pairs_;
 };
 

@@ -7,37 +7,80 @@
 
 namespace nisqpp {
 
-UnionFindDecoder::UnionFindDecoder(const SurfaceLattice &lattice,
-                                   ErrorType type)
-    : Decoder(lattice, type)
+void
+UnionFindDecoder::appendSpatialEdges(const SurfaceLattice &lattice,
+                                     ErrorType type, int base,
+                                     Graph &graph)
 {
-    const int na = lattice.numAncilla(type);
-    numAncillaVertices_ = na;
-    numVertices_ = na;
-    incident_.resize(na);
-
     // Ancilla-ancilla edges: one per interior data qubit (it has exactly
     // two detecting ancillas); ancilla-boundary edges: one per boundary
     // data qubit, with a private virtual boundary vertex.
     for (int d = 0; d < lattice.numData(); ++d) {
         const auto &ancs = lattice.dataAncillaNeighbors(type, d);
         if (ancs.size() == 2) {
-            const int id = static_cast<int>(edges_.size());
-            edges_.push_back({ancs[0], ancs[1], d});
-            incident_[ancs[0]].push_back(id);
-            incident_[ancs[1]].push_back(id);
+            const int id = static_cast<int>(graph.edges.size());
+            graph.edges.push_back({base + ancs[0], base + ancs[1], d});
+            graph.incident[base + ancs[0]].push_back(id);
+            graph.incident[base + ancs[1]].push_back(id);
         } else if (ancs.size() == 1) {
-            const int bv = numVertices_++;
-            incident_.emplace_back();
-            const int id = static_cast<int>(edges_.size());
-            edges_.push_back({ancs[0], bv, d});
-            incident_[ancs[0]].push_back(id);
-            incident_[bv].push_back(id);
+            const int bv = graph.numVertices++;
+            graph.incident.emplace_back();
+            const int id = static_cast<int>(graph.edges.size());
+            graph.edges.push_back({base + ancs[0], bv, d});
+            graph.incident[base + ancs[0]].push_back(id);
+            graph.incident[bv].push_back(id);
         } else {
             panic("UnionFindDecoder: data qubit with no detecting "
                   "ancilla");
         }
     }
+}
+
+UnionFindDecoder::UnionFindDecoder(const SurfaceLattice &lattice,
+                                   ErrorType type)
+    : Decoder(lattice, type)
+{
+    const int na = lattice.numAncilla(type);
+    graph_.numAncillaVertices = na;
+    graph_.numVertices = na;
+    graph_.incident.resize(na);
+    appendSpatialEdges(lattice, type, 0, graph_);
+}
+
+const UnionFindDecoder::Graph &
+UnionFindDecoder::windowGraph(int rounds)
+{
+    if (windowGraphRounds_ == rounds)
+        return windowGraph_;
+
+    // Spacetime layout: vertex (t, a) = t * na + a for the real
+    // ancilla slots of all rounds, virtual boundary vertices after.
+    const SurfaceLattice &lat = lattice();
+    const int na = lat.numAncilla(type());
+    Graph g;
+    g.numAncillaVertices = rounds * na;
+    g.numVertices = rounds * na;
+    g.incident.assign(g.numVertices, {});
+
+    for (int t = 0; t < rounds; ++t) {
+        const int base = t * na;
+        // Spatial edges of round t (the 2D construction, offset).
+        appendSpatialEdges(lat, type(), base, g);
+        // Time-like edges to round t+1: a measurement flip at (t, a)
+        // fires events in rounds t and t+1; the edge carries no data
+        // qubit.
+        if (t + 1 < rounds)
+            for (int a = 0; a < na; ++a) {
+                const int id = static_cast<int>(g.edges.size());
+                g.edges.push_back({base + a, base + na + a, -1});
+                g.incident[base + a].push_back(id);
+                g.incident[base + na + a].push_back(id);
+            }
+    }
+
+    windowGraph_ = std::move(g);
+    windowGraphRounds_ = rounds;
+    return windowGraph_;
 }
 
 Correction
@@ -57,20 +100,53 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
     lastRounds_ = 0;
     if (syndrome.weight() == 0)
         return;
+    ws.ufSeeds.clear();
+    syndrome.forEachHot(
+        [&ws](int a) { ws.ufSeeds.push_back(a); });
+    decodeOnGraph(graph_, ws.ufSeeds, 4 * lattice().gridSize() + 8, ws);
+}
+
+void
+UnionFindDecoder::decodeWindow(const SyndromeWindow &window,
+                               TrialWorkspace &ws)
+{
+    ws.correction.clear();
+    lastRounds_ = 0;
+    if (window.eventWeight() == 0)
+        return;
+    const int na = window.numAncilla();
+    ws.ufSeeds.clear();
+    window.forEachEvent([&ws, na](int t, int a) {
+        ws.ufSeeds.push_back(t * na + a);
+    });
+    decodeOnGraph(windowGraph(window.rounds()), ws.ufSeeds,
+                  4 * (lattice().gridSize() + window.rounds()) + 8, ws);
+}
+
+void
+UnionFindDecoder::decodeOnGraph(const Graph &graph,
+                                const std::vector<int> &seeds,
+                                int growthBound, TrialWorkspace &ws)
+{
+    const auto &edges = graph.edges;
+    const auto &incident = graph.incident;
+    const int numAncillaVertices = graph.numAncillaVertices;
+    const int numVertices = graph.numVertices;
 
     auto &parent = ws.ufParent;
     auto &rank = ws.ufRank;
     auto &parity = ws.ufParity;
     auto &boundary = ws.ufBoundary;
-    parent.resize(numVertices_);
-    rank.assign(numVertices_, 0);
-    parity.assign(numVertices_, 0);
-    boundary.assign(numVertices_, 0);
-    for (int v = 0; v < numVertices_; ++v)
+    parent.resize(numVertices);
+    rank.assign(numVertices, 0);
+    parity.assign(numVertices, 0);
+    boundary.assign(numVertices, 0);
+    for (int v = 0; v < numVertices; ++v)
         parent[v] = v;
-    for (int v = numAncillaVertices_; v < numVertices_; ++v)
+    for (int v = numAncillaVertices; v < numVertices; ++v)
         boundary[v] = 1;
-    syndrome.forEachHot([&parity](int a) { parity[a] = 1; });
+    for (int s : seeds)
+        parity[s] = 1;
 
     auto find = [&parent](int v) {
         while (parent[v] != v) {
@@ -98,18 +174,17 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
     // their endpoints. Only cluster members can sit on an active border,
     // and every member is a hot seed or an endpoint of a previously
     // grown edge — so each round scans just that candidate frontier
-    // instead of the whole lattice graph. Support increments, growth
-    // rounds and the final erasure are identical to the full-graph scan
-    // (each active endpoint contributes one half edge either way); the
+    // instead of the whole graph. Support increments, growth rounds and
+    // the final erasure are identical to the full-graph scan (each
+    // active endpoint contributes one half edge either way); the
     // retained reference decoder in the tests pins this bit for bit.
     auto &support = ws.ufSupport;
     auto &candidates = ws.ufCandidates;
     auto &stamp = ws.ufStamp;
     auto &grown = ws.ufGrown;
-    support.assign(edges_.size(), 0);
-    stamp.assign(numVertices_, 0);
-    candidates.clear();
-    syndrome.forEachHot([&candidates](int a) { candidates.push_back(a); });
+    support.assign(edges.size(), 0);
+    stamp.assign(numVertices, 0);
+    candidates.assign(seeds.begin(), seeds.end());
 
     for (;;) {
         bool any_active = false;
@@ -123,7 +198,7 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
             const int r = find(v);
             if (!parity[r] || boundary[r])
                 continue;
-            for (int e : incident_[v]) {
+            for (int e : incident[v]) {
                 if (support[e] >= 2)
                     continue;
                 any_active = true;
@@ -135,11 +210,11 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
             break;
         ++lastRounds_;
         for (int e : grown) {
-            unite(edges_[e].u, edges_[e].v);
-            candidates.push_back(edges_[e].u);
-            candidates.push_back(edges_[e].v);
+            unite(edges[e].u, edges[e].v);
+            candidates.push_back(edges[e].u);
+            candidates.push_back(edges[e].v);
         }
-        require(lastRounds_ <= 4 * lattice().gridSize() + 8,
+        require(lastRounds_ <= growthBound,
                 "UnionFindDecoder: growth failed to converge");
     }
 
@@ -154,16 +229,17 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
     // roots are chosen in the same ascending boundary-then-ancilla
     // order as a whole-graph scan would.
     auto &hot = ws.ufHot;
-    hot.assign(numVertices_, 0);
-    syndrome.forEachHot([&hot](int a) { hot[a] = 1; });
+    hot.assign(numVertices, 0);
+    for (int s : seeds)
+        hot[s] = 1;
 
     auto &parent_edge = ws.ufParentEdge;
     auto &bfs_order = ws.ufBfsOrder;
     auto &visited = ws.ufVisited;
     auto &queue = ws.ufQueue;
-    parent_edge.assign(numVertices_, -1);
+    parent_edge.assign(numVertices, -1);
     bfs_order.clear();
-    visited.assign(numVertices_, 0);
+    visited.assign(numVertices, 0);
 
     auto &erasure = ws.ufGrown; // growth loop is done with it
     erasure.clear();
@@ -182,11 +258,11 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
         while (head < queue.size()) {
             const int v = queue[head++];
             bfs_order.push_back(v);
-            for (int e : incident_[v]) {
+            for (int e : incident[v]) {
                 if (support[e] < 2)
                     continue;
-                const int w = edges_[e].u == v ? edges_[e].v
-                                               : edges_[e].u;
+                const int w = edges[e].u == v ? edges[e].v
+                                              : edges[e].u;
                 if (visited[w])
                     continue;
                 visited[w] = 1;
@@ -198,19 +274,22 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
 
     // Boundary roots first so leftover parity drains into boundaries.
     for (int v : erasure)
-        if (v >= numAncillaVertices_ && !visited[v])
+        if (v >= numAncillaVertices && !visited[v])
             bfsFrom(v);
     for (int v : erasure)
-        if (v < numAncillaVertices_ && !visited[v])
+        if (v < numAncillaVertices && !visited[v])
             bfsFrom(v);
 
     for (std::size_t i = bfs_order.size(); i-- > 0;) {
         const int v = bfs_order[i];
         if (!hot[v] || parent_edge[v] < 0)
             continue;
-        const GraphEdge &e = edges_[parent_edge[v]];
+        const GraphEdge &e = edges[parent_edge[v]];
         const int p = e.u == v ? e.v : e.u;
-        ws.correction.dataFlips.push_back(e.dataIdx);
+        // Time-like tree edges (dataIdx < 0) re-interpret measurement
+        // flips: parity still moves to the parent, no data flip.
+        if (e.dataIdx >= 0)
+            ws.correction.dataFlips.push_back(e.dataIdx);
         hot[v] = 0;
         hot[p] ^= 1;
     }
@@ -218,7 +297,7 @@ UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
     // Boundary vertices absorb anything left; every interior vertex must
     // have drained (non-roots by the peel, interior roots because their
     // cluster parity is even by the growth exit condition).
-    for (int v = 0; v < numAncillaVertices_; ++v)
+    for (int v = 0; v < numAncillaVertices; ++v)
         require(!hot[v],
                 "UnionFindDecoder: peeling left a hot interior vertex");
 }

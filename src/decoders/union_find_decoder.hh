@@ -5,6 +5,12 @@
  * half-edges on the ancilla graph, merge through a union-find structure
  * tracking parity and boundary contact, and the final erasure is peeled
  * to a correction.
+ *
+ * The growth/peel core is graph-agnostic: the space-only decode runs it
+ * on the 2D ancilla graph, and decodeWindow runs the identical
+ * algorithm on the (rounds x ancilla) spacetime graph whose time-like
+ * edges carry no data qubit — they absorb measurement flips — so the
+ * peeled correction is the XOR of the spatial edges only.
  */
 
 #ifndef NISQPP_DECODERS_UNION_FIND_DECODER_HH
@@ -23,6 +29,15 @@ class UnionFindDecoder : public Decoder
     Correction decode(const Syndrome &syndrome) override;
     void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
+    /**
+     * Spacetime union-find over a faulty-measurement window: the same
+     * growth + peel on the detection-event graph with unit time-like
+     * edges between (t, a) and (t+1, a).
+     */
+    void decodeWindow(const SyndromeWindow &window,
+                      TrialWorkspace &ws) override;
+    bool windowAware() const override { return true; }
+
     std::string name() const override { return "union-find"; }
 
     /** Growth rounds used by the last decode (telemetry). */
@@ -33,16 +48,39 @@ class UnionFindDecoder : public Decoder
     {
         int u;       ///< vertex index (ancilla or virtual boundary)
         int v;
-        int dataIdx; ///< data qubit flipped by this edge
+        int dataIdx; ///< data qubit flipped by this edge; -1 time-like
     };
 
-    // Static decoding graph: ancilla vertices then virtual boundary
-    // vertices (one per boundary-adjacent ancilla). All per-decode
-    // state lives in the caller's TrialWorkspace.
-    std::vector<GraphEdge> edges_;
-    std::vector<std::vector<int>> incident_; ///< vertex -> edge ids
-    int numAncillaVertices_ = 0;
-    int numVertices_ = 0;
+    /** One static decoding graph (2D, or spacetime per window size). */
+    struct Graph
+    {
+        std::vector<GraphEdge> edges;
+        std::vector<std::vector<int>> incident; ///< vertex -> edge ids
+        int numAncillaVertices = 0; ///< real vertices; boundaries after
+        int numVertices = 0;
+    };
+
+    /** Growth + peel on @p graph seeded at @p seeds (hot vertices). */
+    void decodeOnGraph(const Graph &graph, const std::vector<int> &seeds,
+                       int growthBound, TrialWorkspace &ws);
+
+    /**
+     * Append one ancilla family's spatial edge set to @p graph with
+     * real vertices offset by @p base: ancilla-ancilla edges for
+     * interior data qubits, private-virtual-boundary edges for
+     * boundary data qubits. Shared by the 2D graph (base 0) and each
+     * round of the spacetime graph, so the two can never drift.
+     */
+    static void appendSpatialEdges(const SurfaceLattice &lattice,
+                                   ErrorType type, int base,
+                                   Graph &graph);
+
+    /** Build (or reuse) the spacetime graph for @p rounds rounds. */
+    const Graph &windowGraph(int rounds);
+
+    Graph graph_;       ///< 2D ancilla graph (built once)
+    Graph windowGraph_; ///< spacetime graph cache
+    int windowGraphRounds_ = 0;
     int lastRounds_ = 0;
 };
 

@@ -56,6 +56,7 @@ class TrialWorkspace
     /** @} */
 
     /** @name Union-Find decoder @{ */
+    std::vector<int> ufSeeds; ///< hot vertex ids (2D or spacetime)
     std::vector<int> ufParent;
     std::vector<int> ufRank;
     std::vector<char> ufParity;

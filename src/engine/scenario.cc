@@ -125,6 +125,14 @@ scenarioRegistry()
          "streaming decode pipeline: queue depth, latency percentiles "
          "and backlog growth per decoder x distance x cycle time",
          streamingBacklog},
+        {"fig10_measurement",
+         "PL vs p under faulty measurement (q = p): d-round windowed "
+         "spacetime decoding for MWPM and union-find",
+         fig10Measurement},
+        {"noise_zoo",
+         "every noise channel x every decoder at d = 5: PL grid plus "
+         "each decoder's decodeWindow strategy",
+         noiseZoo},
     };
     return registry;
 }

@@ -37,6 +37,12 @@ void fig06Runtime(ScenarioContext &ctx);
 void streamingBacklog(ScenarioContext &ctx);
 /** @} */
 
+/** Noise subsystem: faulty measurement + channel zoo
+ * (scenarios_noise.cc). @{ */
+void fig10Measurement(ScenarioContext &ctx);
+void noiseZoo(ScenarioContext &ctx);
+/** @} */
+
 } // namespace scenarios
 } // namespace nisqpp
 

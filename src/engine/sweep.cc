@@ -18,15 +18,22 @@ batchLanesFromEnv(std::size_t fallback)
     const char *env = std::getenv("NISQPP_BATCH");
     if (!env || !*env)
         return fallback;
+    // Validated like NISQPP_TRIALS: zero, negative, non-numeric,
+    // fractional and absurdly large values all warn and keep the
+    // previous setting (strtoull would silently wrap negatives and
+    // accept "0" as a lane count).
     char *end = nullptr;
-    const unsigned long long v = std::strtoull(env, &end, 10);
-    if (end == env || (end && *end != '\0') || v > kMaxBatchLanes) {
+    const double v = std::strtod(env, &end);
+    if (end == env || (end && *end != '\0') || !std::isfinite(v) ||
+        v < 1 || v > static_cast<double>(kMaxBatchLanes) ||
+        v != std::floor(v)) {
         warn("NISQPP_BATCH='" + std::string(env) +
-             "' is not an integer <= " +
-             std::to_string(kMaxBatchLanes) + "; using default");
+             "' is not an integer in [1, " +
+             std::to_string(kMaxBatchLanes) +
+             "]; keeping batch lanes = " + std::to_string(fallback));
         return fallback;
     }
-    return std::max<std::size_t>(1, static_cast<std::size_t>(v));
+    return static_cast<std::size_t>(v);
 }
 
 std::vector<double>
@@ -85,17 +92,15 @@ runShard(const CellSpec &spec, const Shard &shard)
 
     auto z_dec = (*spec.factory)(*spec.lattice, ErrorType::Z);
     std::unique_ptr<Decoder> x_dec;
-    std::unique_ptr<ErrorModel> model;
-    if (spec.depolarizing) {
-        model = std::make_unique<DepolarizingModel>(spec.physicalRate);
+    const std::unique_ptr<NoiseModel> model =
+        makeNoiseModel(spec.noise, spec.physicalRate);
+    if (model->producesX())
         x_dec = (*spec.factory)(*spec.lattice, ErrorType::X);
-    } else {
-        model = std::make_unique<DephasingModel>(spec.physicalRate);
-    }
     LifetimeSimulator sim(*spec.lattice, *model, *z_dec, x_dec.get(),
                           shard.seed, spec.throughCircuits, &workspace);
     sim.setLifetimeMode(spec.lifetimeMode);
     sim.setBatchLanes(spec.batchLanes);
+    sim.setMeasurementWindow(spec.windowRounds);
     StopRule fixed;
     fixed.minTrials = fixed.maxTrials = shard.trials;
     fixed.targetFailures = ~std::size_t{0};
@@ -267,7 +272,8 @@ Engine::runSweep(const SweepConfig &config, const DecoderFactory &factory)
             CellSpec spec;
             spec.lattice = lattices[di].get();
             spec.physicalRate = p;
-            spec.depolarizing = config.depolarizing;
+            spec.noise = config.noise;
+            spec.windowRounds = config.windowRounds;
             spec.throughCircuits = config.throughCircuits;
             spec.lifetimeMode = config.lifetimeMode;
             spec.rule = config.stopRule;

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "noise/noise_model.hh"
 #include "sim/monte_carlo.hh"
 #include "sim/threshold.hh"
 
@@ -47,7 +48,18 @@ struct SweepConfig
 {
     std::vector<int> distances{3, 5, 7, 9};
     std::vector<double> physicalRates;
-    bool depolarizing = false; ///< default: pure dephasing (paper)
+    /**
+     * Noise model shape (channel kind, bias, measurement flip rate q);
+     * the physical rate p is the sweep axis. Defaults to pure
+     * dephasing with perfect measurement (the paper's setup).
+     */
+    NoiseSpec noise{};
+    /**
+     * Noisy measurement rounds per decode window (plus one perfect
+     * commit round); 0 = single-round decoding. Usually set alongside
+     * noise.q > 0.
+     */
+    int windowRounds = 0;
     bool throughCircuits = false;
     bool lifetimeMode = false; ///< the paper's persistent-state protocol
     StopRule stopRule{};
@@ -104,7 +116,8 @@ struct CellSpec
 {
     const SurfaceLattice *lattice = nullptr;
     double physicalRate = 0.0;
-    bool depolarizing = false;
+    NoiseSpec noise{};    ///< channel kind + eta + measurement q
+    int windowRounds = 0; ///< noisy rounds per decode window; 0 = off
     bool throughCircuits = false;
     bool lifetimeMode = false;
     StopRule rule{};          ///< already env/flag scaled by the caller

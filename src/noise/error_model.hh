@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Abstract interface of the noise layer (moved here from
+ * `surface/error_model.hh` when the closed channel pair became the
+ * pluggable `src/noise/` subsystem). An error model injects fresh data
+ * errors each round and — new with faulty-measurement support — may
+ * corrupt the measured syndrome with readout flips of rate q. Perfect
+ * measurement is the default: `flipMeasurements` is a no-op drawing
+ * zero random numbers, so models with q = 0 leave every existing RNG
+ * stream byte-identical.
+ */
+
+#ifndef NISQPP_NOISE_ERROR_MODEL_HH
+#define NISQPP_NOISE_ERROR_MODEL_HH
+
+#include <string>
+
+#include "common/rng.hh"
+#include "surface/error_state.hh"
+
+namespace nisqpp {
+
+class Syndrome;
+
+/** Interface for per-cycle error injection + measurement corruption. */
+class ErrorModel
+{
+  public:
+    virtual ~ErrorModel() = default;
+
+    /** Multiply freshly sampled data errors into @p state. */
+    virtual void sample(Rng &rng, ErrorState &state) const = 0;
+
+    /** Physical error rate parameter p. */
+    virtual double physicalRate() const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Measurement (readout) flip rate q; 0 = perfect measurement. */
+    virtual double measurementFlipRate() const { return 0.0; }
+
+    /**
+     * Flip each measured syndrome bit of @p syndrome independently
+     * with probability q. The base implementation is a no-op that
+     * draws nothing from @p rng, so perfect-measurement models keep
+     * their draw sequences bit-identical to the pre-subsystem code.
+     */
+    virtual void
+    flipMeasurements(Rng &rng, Syndrome &syndrome) const
+    {
+        (void)rng;
+        (void)syndrome;
+    }
+
+    /**
+     * Whether the channel can produce X error components (callers use
+     * this to decide if an X-family decoder is required).
+     */
+    virtual bool producesX() const { return false; }
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_NOISE_ERROR_MODEL_HH

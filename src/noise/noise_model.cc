@@ -1,0 +1,177 @@
+#include "noise/noise_model.hh"
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "surface/syndrome.hh"
+
+namespace nisqpp {
+
+NoiseSpec
+NoiseSpec::dephasing()
+{
+    return {NoiseKind::Dephasing, 10.0, 0.0};
+}
+
+NoiseSpec
+NoiseSpec::depolarizing()
+{
+    return {NoiseKind::Depolarizing, 10.0, 0.0};
+}
+
+NoiseSpec
+NoiseSpec::biased(double eta)
+{
+    return {NoiseKind::Biased, eta, 0.0};
+}
+
+NoiseSpec
+NoiseSpec::erasure()
+{
+    return {NoiseKind::Erasure, 10.0, 0.0};
+}
+
+std::string
+noiseKindName(NoiseKind kind)
+{
+    switch (kind) {
+      case NoiseKind::Dephasing: return "dephasing";
+      case NoiseKind::Depolarizing: return "depolarizing";
+      case NoiseKind::Biased: return "biased";
+      case NoiseKind::Erasure: return "erasure";
+    }
+    panic("noiseKindName: unknown kind");
+}
+
+const std::vector<NoiseKind> &
+noiseKindRegistry()
+{
+    static const std::vector<NoiseKind> kinds{
+        NoiseKind::Dephasing, NoiseKind::Depolarizing,
+        NoiseKind::Biased, NoiseKind::Erasure};
+    return kinds;
+}
+
+NoiseModel &
+NoiseModel::add(std::unique_ptr<NoiseChannel> channel)
+{
+    require(channel != nullptr, "NoiseModel: null channel");
+    channels_.push_back(std::move(channel));
+    return *this;
+}
+
+NoiseModel &
+NoiseModel::withMeasurementFlips(double q)
+{
+    q_ = MeasurementFlipChannel(q);
+    return *this;
+}
+
+void
+NoiseModel::sample(Rng &rng, ErrorState &state) const
+{
+    for (const auto &channel : channels_)
+        channel->sampleInto(rng, state);
+}
+
+double
+NoiseModel::physicalRate() const
+{
+    double total = 0.0;
+    for (const auto &channel : channels_)
+        total += channel->rate();
+    return total;
+}
+
+std::string
+NoiseModel::name() const
+{
+    std::string out;
+    for (const auto &channel : channels_) {
+        if (!out.empty())
+            out += "+";
+        out += channel->name();
+    }
+    if (out.empty())
+        out = "empty";
+    if (q_.rate() > 0.0)
+        out += "+meas(q=" + TablePrinter::num(q_.rate(), 4) + ")";
+    return out;
+}
+
+void
+NoiseModel::flipMeasurements(Rng &rng, Syndrome &syndrome) const
+{
+    q_.corrupt(rng, syndrome);
+}
+
+bool
+NoiseModel::producesX() const
+{
+    for (const auto &channel : channels_)
+        if (channel->producesX())
+            return true;
+    return false;
+}
+
+const NoiseChannel &
+NoiseModel::channel(std::size_t i) const
+{
+    require(i < channels_.size(), "NoiseModel: channel out of range");
+    return *channels_[i];
+}
+
+NoiseModel
+NoiseModel::depolarizing(double p, double q)
+{
+    NoiseModel model;
+    model.add(std::make_unique<DepolarizingChannel>(p))
+        .withMeasurementFlips(q);
+    return model;
+}
+
+NoiseModel
+NoiseModel::dephasing(double p, double q)
+{
+    NoiseModel model;
+    model.add(std::make_unique<DephasingChannel>(p))
+        .withMeasurementFlips(q);
+    return model;
+}
+
+NoiseModel
+NoiseModel::biased(double p, double eta, double q)
+{
+    NoiseModel model;
+    model.add(std::make_unique<BiasedEtaChannel>(p, eta))
+        .withMeasurementFlips(q);
+    return model;
+}
+
+NoiseModel
+NoiseModel::erasure(double p, double q)
+{
+    NoiseModel model;
+    model.add(std::make_unique<ErasureChannel>(p))
+        .withMeasurementFlips(q);
+    return model;
+}
+
+NoiseModel
+NoiseModel::fromSpec(const NoiseSpec &spec, double p)
+{
+    switch (spec.kind) {
+      case NoiseKind::Dephasing: return dephasing(p, spec.q);
+      case NoiseKind::Depolarizing: return depolarizing(p, spec.q);
+      case NoiseKind::Biased: return biased(p, spec.eta, spec.q);
+      case NoiseKind::Erasure: return erasure(p, spec.q);
+    }
+    panic("NoiseModel::fromSpec: unknown kind");
+}
+
+std::unique_ptr<NoiseModel>
+makeNoiseModel(const NoiseSpec &spec, double p)
+{
+    return std::make_unique<NoiseModel>(NoiseModel::fromSpec(spec, p));
+}
+
+} // namespace nisqpp

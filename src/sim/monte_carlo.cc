@@ -86,6 +86,7 @@ LifetimeSimulator::LifetimeSimulator(const SurfaceLattice &lattice,
                                      TrialWorkspace *workspace)
     : lattice_(lattice), model_(model), zDecoder_(zDecoder),
       xDecoder_(xDecoder), rng_(seed), throughCircuits_(throughCircuits),
+      noisyReadout_(model.measurementFlipRate() > 0.0),
       state_(lattice),
       synZ_(lattice, ErrorType::Z), synX_(lattice, ErrorType::X),
       ws_(workspace)
@@ -112,6 +113,14 @@ LifetimeSimulator::setBatchLanes(std::size_t lanes)
 }
 
 void
+LifetimeSimulator::setMeasurementWindow(int rounds)
+{
+    require(rounds >= 0,
+            "LifetimeSimulator: window rounds must be >= 0");
+    windowRounds_ = rounds;
+}
+
+void
 LifetimeSimulator::recordMeshStats(const MeshDecodeStats *stats,
                                    MonteCarloResult &acc) const
 {
@@ -129,14 +138,153 @@ LifetimeSimulator::scratchSyndrome(ErrorType type)
 }
 
 void
+LifetimeSimulator::extractInto(const ErrorState &state, ErrorType type,
+                               Syndrome &out)
+{
+    if (throughCircuits_)
+        circuit_->extractInto(state, type, out);
+    else
+        extractSyndromeInto(state, type, out);
+}
+
+/**
+ * Run one window's measurement rounds on @p state: windowRounds_ noisy
+ * rounds (sample data errors; extract; corrupt with the model's
+ * measurement-flip rate) plus one perfect commit round. RNG draw order
+ * per round is data sample, Z flips, X flips — the scalar and batched
+ * paths share this routine, so their streams are identical.
+ */
+void
+LifetimeSimulator::fillWindows(ErrorState &state, SyndromeWindow &winZ,
+                               SyndromeWindow *winX)
+{
+    state.clear();
+    winZ.reset();
+    if (winX)
+        winX->reset();
+    for (int t = 0; t < windowRounds_; ++t) {
+        model_.sample(rng_, state);
+        extractInto(state, ErrorType::Z, synZ_);
+        model_.flipMeasurements(rng_, synZ_);
+        winZ.recordRound(t, synZ_);
+        if (winX) {
+            extractInto(state, ErrorType::X, synX_);
+            model_.flipMeasurements(rng_, synX_);
+            winX->recordRound(t, synX_);
+        }
+    }
+    extractInto(state, ErrorType::Z, synZ_);
+    winZ.recordRound(windowRounds_, synZ_);
+    if (winX) {
+        extractInto(state, ErrorType::X, synX_);
+        winX->recordRound(windowRounds_, synX_);
+    }
+}
+
+/** Classify the post-commit residual of one windowed trial. */
+bool
+LifetimeSimulator::classifyWindowTrial(ErrorState &state,
+                                       MonteCarloResult &acc)
+{
+    const FailureReport z_report =
+        classifyResidual(state, ErrorType::Z);
+    if (z_report.syndromeNonzero)
+        ++acc.syndromeResidualFailures;
+    bool failed = z_report.failed();
+    if (xDecoder_) {
+        const FailureReport x_report =
+            classifyResidual(state, ErrorType::X);
+        if (x_report.syndromeNonzero)
+            ++acc.syndromeResidualFailures;
+        failed |= x_report.failed();
+    } else {
+        require(state.weight(ErrorType::X) == 0,
+                "LifetimeSimulator: X errors present but no X decoder");
+    }
+    ++acc.trials;
+    if (failed)
+        ++acc.failures;
+    return failed;
+}
+
+bool
+LifetimeSimulator::runWindowTrial(MonteCarloResult &acc)
+{
+    const int total = windowRounds_ + 1;
+    if (!winZ_ || winZ_->rounds() != total)
+        winZ_ = std::make_unique<SyndromeWindow>(lattice_, ErrorType::Z,
+                                                 total);
+    if (xDecoder_ && (!winX_ || winX_->rounds() != total))
+        winX_ = std::make_unique<SyndromeWindow>(lattice_, ErrorType::X,
+                                                 total);
+
+    fillWindows(state_, *winZ_, xDecoder_ ? winX_.get() : nullptr);
+    zDecoder_.decodeWindow(*winZ_, *ws_);
+    ws_->correction.applyTo(state_, ErrorType::Z);
+    if (xDecoder_) {
+        xDecoder_->decodeWindow(*winX_, *ws_);
+        ws_->correction.applyTo(state_, ErrorType::X);
+    }
+    return classifyWindowTrial(state_, acc);
+}
+
+bool
+LifetimeSimulator::runWindowBatch(std::size_t count,
+                                  MonteCarloResult &acc,
+                                  const StopRule &rule)
+{
+    const int total = windowRounds_ + 1;
+    while (batchStates_.size() < count)
+        batchStates_.emplace_back(lattice_);
+    if (!batchWinZ_.empty() && batchWinZ_[0].rounds() != total) {
+        batchWinZ_.clear();
+        batchWinX_.clear();
+    }
+    while (batchWinZ_.size() < count)
+        batchWinZ_.emplace_back(lattice_, ErrorType::Z, total);
+    if (xDecoder_)
+        while (batchWinX_.size() < count)
+            batchWinX_.emplace_back(lattice_, ErrorType::X, total);
+    winPtrs_.resize(count);
+
+    // Fill every lane's window up front — lane l's draw sequence is
+    // exactly what scalar trial l would have drawn.
+    for (std::size_t l = 0; l < count; ++l)
+        fillWindows(batchStates_[l], batchWinZ_[l],
+                    xDecoder_ ? &batchWinX_[l] : nullptr);
+
+    for (std::size_t l = 0; l < count; ++l)
+        winPtrs_[l] = &batchWinZ_[l];
+    zDecoder_.decodeWindowBatch(winPtrs_.data(), count, *ws_);
+    for (std::size_t l = 0; l < count; ++l)
+        ws_->laneCorrections[l].applyTo(batchStates_[l], ErrorType::Z);
+
+    if (xDecoder_) {
+        for (std::size_t l = 0; l < count; ++l)
+            winPtrs_[l] = &batchWinX_[l];
+        xDecoder_->decodeWindowBatch(winPtrs_.data(), count, *ws_);
+        for (std::size_t l = 0; l < count; ++l)
+            ws_->laneCorrections[l].applyTo(batchStates_[l],
+                                            ErrorType::X);
+    }
+
+    for (std::size_t l = 0; l < count; ++l) {
+        classifyWindowTrial(batchStates_[l], acc);
+        // Stop-rule hit mid-group: drop the remaining lanes, exactly
+        // as the scalar loop would never have run those trials.
+        if (acc.trials >= rule.minTrials &&
+            acc.failures >= rule.targetFailures)
+            return true;
+    }
+    return false;
+}
+
+void
 LifetimeSimulator::decodeLifetime(ErrorType type, Decoder &decoder,
                                   MonteCarloResult &acc)
 {
     Syndrome &syn = scratchSyndrome(type);
-    if (throughCircuits_)
-        circuit_->extractInto(state_, type, syn);
-    else
-        extractSyndromeInto(state_, type, syn);
+    extractInto(state_, type, syn);
     decoder.decode(syn, *ws_);
     ws_->correction.applyTo(state_, type);
     recordMeshStats(decoder.meshStats(), acc);
@@ -147,10 +295,7 @@ LifetimeSimulator::decodeFamily(ErrorType type, Decoder &decoder,
                                 ErrorState &state, MonteCarloResult &acc)
 {
     Syndrome &syn = scratchSyndrome(type);
-    if (throughCircuits_)
-        circuit_->extractInto(state, type, syn);
-    else
-        extractSyndromeInto(state, type, syn);
+    extractInto(state, type, syn);
     decoder.decode(syn, *ws_);
     ws_->correction.applyTo(state, type);
     recordMeshStats(decoder.meshStats(), acc);
@@ -164,6 +309,12 @@ LifetimeSimulator::decodeFamily(ErrorType type, Decoder &decoder,
 bool
 LifetimeSimulator::runRound(MonteCarloResult &acc)
 {
+    // Single-round protocols never call flipMeasurements: a noisy-
+    // readout model here would silently simulate q = 0 (guarded at
+    // every public entry point, not just run()).
+    require(!noisyReadout_,
+            "LifetimeSimulator: measurement noise (q > 0) requires a "
+            "decode window (setMeasurementWindow)");
     if (!lifetimeMode_)
         state_.clear();
     model_.sample(rng_, state_);
@@ -223,12 +374,7 @@ LifetimeSimulator::runBatch(std::size_t count, MonteCarloResult &acc,
 
     // Z family: extract all, decode the lane group, apply.
     for (std::size_t l = 0; l < count; ++l) {
-        if (throughCircuits_)
-            circuit_->extractInto(batchStates_[l], ErrorType::Z,
-                                  batchSynZ_[l]);
-        else
-            extractSyndromeInto(batchStates_[l], ErrorType::Z,
-                                batchSynZ_[l]);
+        extractInto(batchStates_[l], ErrorType::Z, batchSynZ_[l]);
         synPtrs_[l] = &batchSynZ_[l];
     }
     zDecoder_.decodeBatch(synPtrs_.data(), count, *ws_);
@@ -240,12 +386,7 @@ LifetimeSimulator::runBatch(std::size_t count, MonteCarloResult &acc,
     // scalar loop classifies between the two decodes.
     if (xDecoder_) {
         for (std::size_t l = 0; l < count; ++l) {
-            if (throughCircuits_)
-                circuit_->extractInto(batchStates_[l], ErrorType::X,
-                                      batchSynX_[l]);
-            else
-                extractSyndromeInto(batchStates_[l], ErrorType::X,
-                                    batchSynX_[l]);
+            extractInto(batchStates_[l], ErrorType::X, batchSynX_[l]);
             synPtrs_[l] = &batchSynX_[l];
         }
         xDecoder_->decodeBatch(synPtrs_.data(), count, *ws_);
@@ -296,6 +437,36 @@ LifetimeSimulator::run(const StopRule &rule)
     acc.cycleHistogram =
         Histogram(static_cast<std::size_t>(128 * (lattice_.gridSize()
                                                   + 2)));
+    // Single-round protocols never call flipMeasurements: running a
+    // noisy-readout model without a window would silently simulate
+    // q = 0 while reporting a q > 0 configuration. (runRound repeats
+    // the check for callers driving trials directly.)
+    require(windowRounds_ > 0 || !noisyReadout_,
+            "LifetimeSimulator: measurement noise (q > 0) requires a "
+            "decode window (setMeasurementWindow)");
+    if (windowRounds_ > 0) {
+        require(!lifetimeMode_,
+                "LifetimeSimulator: windowed decoding and lifetime "
+                "mode are mutually exclusive (use the streaming "
+                "pipeline for persistent windowed runs)");
+        if (batchLanes_ > 1) {
+            while (acc.trials < rule.maxTrials) {
+                const std::size_t group = std::min(
+                    batchLanes_, rule.maxTrials - acc.trials);
+                if (runWindowBatch(group, acc, rule))
+                    break;
+            }
+        } else {
+            while (acc.trials < rule.maxTrials) {
+                runWindowTrial(acc);
+                if (acc.trials >= rule.minTrials &&
+                    acc.failures >= rule.targetFailures)
+                    break;
+            }
+        }
+        acc.finalize();
+        return acc;
+    }
     if (batchLanes_ > 1 && !lifetimeMode_) {
         while (acc.trials < rule.maxTrials) {
             const std::size_t group = std::min(

@@ -21,6 +21,7 @@
 #include "surface/error_model.hh"
 #include "surface/logical.hh"
 #include "surface/stabilizer_circuit.hh"
+#include "surface/syndrome_window.hh"
 
 namespace nisqpp {
 
@@ -141,11 +142,31 @@ class LifetimeSimulator
     void setBatchLanes(std::size_t lanes);
     std::size_t batchLanes() const { return batchLanes_; }
 
+    /**
+     * Faulty-measurement windowed protocol: each trial clears the
+     * state, runs @p rounds noisy measurement rounds (data errors
+     * sampled per round, measured syndromes corrupted by the model's
+     * flip rate q) plus one perfect commit round, hands the
+     * accumulated SyndromeWindow to Decoder::decodeWindow, commits
+     * the returned correction at the window boundary and classifies
+     * the residual. 0 (the default) keeps the single-round protocols.
+     * Windowed trials run batched through decodeWindowBatch when
+     * batch lanes are configured, with byte-identical aggregates.
+     * Mutually exclusive with lifetime mode (the streaming pipeline
+     * owns the persistent-state windowed regime); mesh cycle
+     * telemetry is not collected in windowed mode.
+     */
+    void setMeasurementWindow(int rounds);
+    int measurementWindow() const { return windowRounds_; }
+
     /** Run @p rule-governed rounds and aggregate. */
     MonteCarloResult run(const StopRule &rule);
 
     /** Run exactly one round; returns whether it failed. */
     bool runRound(MonteCarloResult &acc);
+
+    /** Run exactly one windowed trial; returns whether it failed. */
+    bool runWindowTrial(MonteCarloResult &acc);
 
   private:
     bool decodeFamily(ErrorType type, Decoder &decoder,
@@ -156,8 +177,15 @@ class LifetimeSimulator
                          MonteCarloResult &acc) const;
     bool runBatch(std::size_t count, MonteCarloResult &acc,
                   const StopRule &rule);
+    bool runWindowBatch(std::size_t count, MonteCarloResult &acc,
+                        const StopRule &rule);
+    void fillWindows(ErrorState &state, SyndromeWindow &winZ,
+                     SyndromeWindow *winX);
+    bool classifyWindowTrial(ErrorState &state, MonteCarloResult &acc);
 
     Syndrome &scratchSyndrome(ErrorType type);
+    void extractInto(const ErrorState &state, ErrorType type,
+                     Syndrome &out);
 
     const SurfaceLattice &lattice_;
     const ErrorModel &model_;
@@ -166,12 +194,20 @@ class LifetimeSimulator
     Rng rng_;
     bool throughCircuits_;
     bool lifetimeMode_ = false;
+    /** model_.measurementFlipRate() > 0, cached off the hot path. */
+    bool noisyReadout_ = false;
     /** Built only for circuit-based extraction (it is not cheap). */
     std::unique_ptr<StabilizerCircuit> circuit_;
     ErrorState state_;
     Syndrome synZ_; ///< extraction scratch, Z-error family
     Syndrome synX_; ///< extraction scratch, X-error family
     std::size_t batchLanes_ = 1;
+    int windowRounds_ = 0; ///< noisy rounds per window; 0 = off
+    /** Windowed-protocol scratch (built on first windowed run). @{ */
+    std::unique_ptr<SyndromeWindow> winZ_, winX_;
+    std::vector<SyndromeWindow> batchWinZ_, batchWinX_;
+    std::vector<const SyndromeWindow *> winPtrs_;
+    /** @} */
     /** Batched-round scratch, grown to the lane-group high-water mark. */
     std::vector<ErrorState> batchStates_;
     std::vector<Syndrome> batchSynZ_, batchSynX_;

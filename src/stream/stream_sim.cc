@@ -6,10 +6,11 @@
 
 #include "common/logging.hh"
 #include "decoders/workspace.hh"
+#include "noise/noise_model.hh"
 #include "stream/stream_queue.hh"
 #include "stream/syndrome_stream.hh"
-#include "surface/error_model.hh"
 #include "surface/logical.hh"
+#include "surface/syndrome_window.hh"
 
 namespace nisqpp {
 
@@ -41,7 +42,17 @@ runStream(const StreamConfig &config, Decoder &decoder,
                 "runStream: mesh-cycle latency model needs a decoder "
                 "with mesh telemetry");
 
-    const DephasingModel model(config.physicalRate);
+    const std::size_t w = config.windowRounds;
+    if (w > 0)
+        require(config.rounds % w == 0,
+                "runStream: rounds must be a multiple of windowRounds");
+    else
+        require(config.measurementFlipRate == 0.0,
+                "runStream: measurement noise requires windowRounds "
+                "> 0 (per-round decoding cannot see readout flips)");
+
+    const NoiseModel model = NoiseModel::dephasing(
+        config.physicalRate, config.measurementFlipRate);
     SyndromeStream stream(*config.lattice, model, ErrorType::Z,
                           config.seed, config.syndromeCycleNs);
     StreamQueue queue(config.queueCapacity);
@@ -61,6 +72,19 @@ runStream(const StreamConfig &config, Decoder &decoder,
     std::size_t completed = 0;
     std::size_t completedByEnd = 0;
     bool parity = false;
+
+    // Windowed-consumer state: w measured rounds accumulate, then a
+    // perfect commit round closes the window, the decode happens once
+    // and its correction is committed at the boundary.
+    std::unique_ptr<SyndromeWindow> window;
+    std::unique_ptr<Syndrome> commitSyn;
+    if (w > 0) {
+        window = std::make_unique<SyndromeWindow>(
+            *config.lattice, ErrorType::Z, static_cast<int>(w) + 1);
+        commitSyn =
+            std::make_unique<Syndrome>(*config.lattice, ErrorType::Z);
+    }
+    const Correction emptyCorrection; ///< observer arg between commits
 
     auto completeFront = [&]() {
         const StreamRound &entry = queue.front();
@@ -94,19 +118,50 @@ runStream(const StreamConfig &config, Decoder &decoder,
         // round-synchronously (closed-loop lifetime physics); only its
         // cost is replayed against the virtual clock below.
         const Syndrome &syndrome = stream.emit();
-        decoder.decode(syndrome, *workspace);
-        workspace->correction.applyTo(stream.state(), ErrorType::Z);
-        const bool nowParity =
-            crossingParity(stream.state(), ErrorType::Z);
-        if (nowParity != parity)
-            ++result.failures;
-        parity = nowParity;
-        if (observer && *observer)
-            (*observer)(k, syndrome, workspace->correction);
-
-        const double serviceNs =
-            config.latency.decodeNs(decoder.meshStats(),
-                                    syndrome.weight());
+        double serviceNs = 0.0;
+        if (w == 0) {
+            decoder.decode(syndrome, *workspace);
+            workspace->correction.applyTo(stream.state(),
+                                          ErrorType::Z);
+            const bool nowParity =
+                crossingParity(stream.state(), ErrorType::Z);
+            if (nowParity != parity)
+                ++result.failures;
+            parity = nowParity;
+            if (observer && *observer)
+                (*observer)(k, syndrome, workspace->correction);
+            serviceNs = config.latency.decodeNs(decoder.meshStats(),
+                                                syndrome.weight());
+        } else {
+            const int t = static_cast<int>(k % w);
+            window->recordRound(t, syndrome);
+            if (t + 1 == static_cast<int>(w)) {
+                // Close the window with a perfect commit round,
+                // decode it as one spacetime problem, commit.
+                stream.extractPerfectInto(*commitSyn);
+                window->recordRound(static_cast<int>(w), *commitSyn);
+                decoder.decodeWindow(*window, *workspace);
+                workspace->correction.applyTo(stream.state(),
+                                              ErrorType::Z);
+                ++result.windows;
+                const bool nowParity =
+                    crossingParity(stream.state(), ErrorType::Z);
+                if (nowParity != parity)
+                    ++result.failures;
+                parity = nowParity;
+                if (observer && *observer)
+                    (*observer)(k, syndrome, workspace->correction);
+                serviceNs = config.latency.decodeNs(
+                    decoder.meshStats(), window->eventWeight());
+                // Re-arm: the next window's round-0 events are
+                // measured against the post-commit perfect frame.
+                stream.extractPerfectInto(*commitSyn);
+                window->reset();
+                window->setBaseline(*commitSyn);
+            } else if (observer && *observer) {
+                (*observer)(k, syndrome, emptyCorrection);
+            }
+        }
         result.serviceNs.add(serviceNs);
         serviceHist.add(
             static_cast<std::size_t>(std::llround(serviceNs)));
@@ -138,7 +193,7 @@ runStream(const StreamConfig &config, Decoder &decoder,
     result.fEmpirical = result.serviceNs.mean() / cycle;
     result.logicalErrorRate =
         static_cast<double>(result.failures) /
-        static_cast<double>(result.rounds);
+        static_cast<double>(w > 0 ? result.windows : result.rounds);
     result.servicePercentiles.p50 =
         percentileFromHistogram(serviceHist, 0.50);
     result.servicePercentiles.p90 =

@@ -34,6 +34,17 @@ struct StreamConfig
 {
     const SurfaceLattice *lattice = nullptr;
     double physicalRate = 0.05;   ///< dephasing channel parameter
+    /** Measurement flip rate q; > 0 forces windowed decoding. */
+    double measurementFlipRate = 0.0;
+    /**
+     * Noisy rounds per decode window; 0 decodes every round
+     * immediately (perfect-measurement pipeline). When set, the
+     * consumer accumulates w measured rounds plus a perfect commit
+     * round, decodes the window through Decoder::decodeWindow, and
+     * commits the correction at the window boundary; rounds must be
+     * a multiple of w.
+     */
+    std::size_t windowRounds = 0;
     double syndromeCycleNs = 400.0; ///< generation cycle (paper [27])
     std::size_t rounds = 4000;    ///< production horizon
     std::size_t queueCapacity = 64; ///< fast-ring slots before spill
@@ -47,9 +58,14 @@ struct StreamConfig
 struct StreamingResult
 {
     std::size_t rounds = 0;
+    /** Windows committed (windowed runs; 0 on per-round runs). */
+    std::size_t windows = 0;
     std::size_t failures = 0; ///< lifetime-protocol logical flips
 
-    /** failures / rounds (the streaming counterpart of PL). */
+    /**
+     * failures / rounds — or failures / windows on windowed runs —
+     * the streaming counterpart of PL.
+     */
     double logicalErrorRate = 0.0;
 
     /** Modeled decode service time per round (ns). */
@@ -78,7 +94,9 @@ struct StreamingResult
 /**
  * Per-round observer: invoked after each round's decode with the
  * emitted syndrome and the correction the decoder returned for it
- * (used by the batch-equivalence tests and explorers).
+ * (used by the batch-equivalence tests and explorers). On windowed
+ * runs non-commit rounds report an empty correction; the commit round
+ * reports the whole window's committed correction.
  */
 using StreamObserver = std::function<void(
     std::size_t round, const Syndrome &syndrome, const Correction &)>;

@@ -19,8 +19,15 @@ SyndromeStream::emit()
 {
     model_.sample(rng_, state_);
     extractSyndromeInto(state_, type_, syndrome_);
+    model_.flipMeasurements(rng_, syndrome_);
     ++rounds_;
     return syndrome_;
+}
+
+void
+SyndromeStream::extractPerfectInto(Syndrome &out) const
+{
+    extractSyndromeInto(state_, type_, out);
 }
 
 } // namespace nisqpp

@@ -3,10 +3,14 @@
  * Syndrome producer of the streaming pipeline: emits one error-syndrome
  * round per syndrome cycle on a simulated wall clock, running the
  * paper's lifetime protocol physics (persistent error state, stochastic
- * injection each round, perfect extraction). The producer never waits
- * for the decoder — syndrome generation is a property of the quantum
- * hardware — which is exactly what creates backlog when the consumer is
- * too slow (paper Section III).
+ * injection each round). Extraction is perfect for models with
+ * measurement flip rate q = 0 and noisy otherwise: each emitted round
+ * is corrupted through ErrorModel::flipMeasurements, which is what
+ * forces the windowed multi-round decoding regime the paper's
+ * continuous-stream argument is about. The producer never waits for
+ * the decoder — syndrome generation is a property of the quantum
+ * hardware — which is exactly what creates backlog when the consumer
+ * is too slow (paper Section III).
  */
 
 #ifndef NISQPP_STREAM_SYNDROME_STREAM_HH
@@ -42,10 +46,19 @@ class SyndromeStream
                    ErrorType type, std::uint64_t seed, double cycleNs);
 
     /**
-     * Inject one round of errors and extract its syndrome. The
-     * returned reference stays valid until the next emit().
+     * Inject one round of errors and extract its *measured* syndrome
+     * (readout flips applied at the model's rate q; none drawn when
+     * q = 0). The returned reference stays valid until the next
+     * emit().
      */
     const Syndrome &emit();
+
+    /**
+     * Extract the perfect (noise-free) syndrome of the current state
+     * into @p out without advancing the stream: the commit/baseline
+     * rounds of the windowed consumer.
+     */
+    void extractPerfectInto(Syndrome &out) const;
 
     /** Rounds emitted so far. */
     std::size_t roundsEmitted() const { return rounds_; }

@@ -1,63 +1,36 @@
 /**
  * @file
- * Stochastic error channels used by the Monte Carlo environment
- * (paper Section VII): the depolarizing channel (X, Y, Z each with
- * probability p/3) and the pure dephasing channel (Z with probability p),
- * sampled i.i.d. per data qubit each cycle.
+ * Compatibility shim over the pluggable noise subsystem: the abstract
+ * `ErrorModel` interface now lives in `noise/error_model.hh` and the
+ * concrete channels in `noise/channels.hh`. The two legacy model names
+ * remain constructible here as perfect-measurement (q = 0) composites
+ * whose per-qubit draw sequences are bit-identical to the original
+ * closed classes, so every existing scenario golden is unchanged.
  */
 
 #ifndef NISQPP_SURFACE_ERROR_MODEL_HH
 #define NISQPP_SURFACE_ERROR_MODEL_HH
 
-#include <memory>
-#include <string>
-
-#include "common/rng.hh"
-#include "surface/error_state.hh"
+#include "noise/noise_model.hh"
 
 namespace nisqpp {
 
-/** Interface for per-cycle data-qubit error injection. */
-class ErrorModel
-{
-  public:
-    virtual ~ErrorModel() = default;
-
-    /** Multiply freshly sampled errors into @p state. */
-    virtual void sample(Rng &rng, ErrorState &state) const = 0;
-
-    /** Physical error rate parameter p. */
-    virtual double physicalRate() const = 0;
-
-    virtual std::string name() const = 0;
-};
-
 /** Pauli X, Y, Z each with probability p/3 per data qubit. */
-class DepolarizingModel : public ErrorModel
+class DepolarizingModel : public NoiseModel
 {
   public:
-    explicit DepolarizingModel(double p);
-
-    void sample(Rng &rng, ErrorState &state) const override;
-    double physicalRate() const override { return p_; }
-    std::string name() const override { return "depolarizing"; }
-
-  private:
-    double p_;
+    explicit DepolarizingModel(double p)
+        : NoiseModel(NoiseModel::depolarizing(p))
+    {}
 };
 
 /** Pauli Z with probability p per data qubit (paper's headline model). */
-class DephasingModel : public ErrorModel
+class DephasingModel : public NoiseModel
 {
   public:
-    explicit DephasingModel(double p);
-
-    void sample(Rng &rng, ErrorState &state) const override;
-    double physicalRate() const override { return p_; }
-    std::string name() const override { return "dephasing"; }
-
-  private:
-    double p_;
+    explicit DephasingModel(double p)
+        : NoiseModel(NoiseModel::dephasing(p))
+    {}
 };
 
 } // namespace nisqpp

@@ -66,8 +66,24 @@ check_cli(bad_threads FALSE ERR
           "--threads: expected an integer"
           --scenario fig01_sqv --threads 1.5)
 
-# Happy paths stay intact.
+# Bad --batch values are rejected at the flag level (the NISQPP_BATCH
+# env path warns and keeps the previous setting instead; covered by
+# tests/engine/test_batch_env.cc).
+check_cli(bad_batch_zero FALSE ERR
+          "--batch: expected an integer"
+          --scenario fig01_sqv --batch 0)
+check_cli(bad_batch_negative FALSE ERR
+          "--batch: expected an integer"
+          --scenario fig01_sqv --batch -4)
+
+# Happy paths stay intact. --list must print one-line descriptions
+# sourced from the registry (name  -  description), not bare names.
 check_cli(list_names TRUE OUT "streaming_backlog" --list)
+check_cli(list_descriptions TRUE OUT
+          "noise_zoo  -  every noise channel x every decoder" --list)
+check_cli(list_windowed_description TRUE OUT
+          "fig10_measurement  -  PL vs p under faulty measurement"
+          --list)
 check_cli(flagged_scenario TRUE OUT "SQV" --scenario fig01_sqv)
 check_cli(positional_scenario TRUE OUT "SQV" fig01_sqv)
 check_cli(json_document TRUE OUT "^\\{\"tables\":\\["

@@ -1,0 +1,255 @@
+/** @file Spacetime windowed decoding: MWPM/union-find over detection
+ * events, majority-vote fallback, and the time-like MatchingGraph. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "decoders/greedy_decoder.hh"
+#include "decoders/matching_graph.hh"
+#include "decoders/mwpm_decoder.hh"
+#include "decoders/union_find_decoder.hh"
+#include "decoders/workspace.hh"
+#include "surface/logical.hh"
+#include "surface/syndrome_window.hh"
+
+namespace nisqpp {
+namespace {
+
+/**
+ * Build the window of a static error history: errorsAt[t] lists data
+ * qubits whose Z error appears (newly) at round t; flipsAt[t] lists
+ * ancillas whose round-t readout is flipped. Rounds 0..w-1 are noisy,
+ * round w is the perfect commit round. Returns the final error state
+ * through @p state.
+ */
+void
+buildWindow(const SurfaceLattice &lat, int w,
+            const std::vector<std::vector<int>> &errorsAt,
+            const std::vector<std::vector<int>> &flipsAt,
+            SyndromeWindow &win, ErrorState &state)
+{
+    state.clear();
+    win.reset();
+    Syndrome syn(lat, ErrorType::Z);
+    for (int t = 0; t < w; ++t) {
+        if (t < static_cast<int>(errorsAt.size()))
+            for (int d : errorsAt[t])
+                state.flip(ErrorType::Z, d);
+        extractSyndromeInto(state, ErrorType::Z, syn);
+        if (t < static_cast<int>(flipsAt.size()))
+            for (int a : flipsAt[t])
+                syn.flip(a);
+        win.recordRound(t, syn);
+    }
+    extractSyndromeInto(state, ErrorType::Z, syn);
+    win.recordRound(w, syn);
+}
+
+/** Apply ws.correction and classify the residual. */
+FailureReport
+commitAndClassify(ErrorState &state, TrialWorkspace &ws)
+{
+    ws.correction.applyTo(state, ErrorType::Z);
+    return classifyResidual(state, ErrorType::Z);
+}
+
+class WindowDecoding
+    : public ::testing::TestWithParam<const char *>
+{
+  public:
+    static std::unique_ptr<Decoder>
+    make(const SurfaceLattice &lat)
+    {
+        const std::string name = GetParam();
+        if (name == "mwpm")
+            return std::make_unique<MwpmDecoder>(lat, ErrorType::Z);
+        return std::make_unique<UnionFindDecoder>(lat, ErrorType::Z);
+    }
+};
+
+TEST_P(WindowDecoding, IsWindowAware)
+{
+    SurfaceLattice lat(3);
+    EXPECT_TRUE(make(lat)->windowAware());
+}
+
+TEST_P(WindowDecoding, CorrectsSingleDataError)
+{
+    for (int d : {3, 5}) {
+        SurfaceLattice lat(d);
+        auto decoder = make(lat);
+        TrialWorkspace ws;
+        const int w = d;
+        SyndromeWindow win(lat, ErrorType::Z, w + 1);
+        ErrorState state(lat);
+        for (int q = 0; q < lat.numData(); ++q) {
+            buildWindow(lat, w, {{q}}, {}, win, state);
+            decoder->decodeWindow(win, ws);
+            const FailureReport report = commitAndClassify(state, ws);
+            EXPECT_FALSE(report.failed())
+                << GetParam() << " d=" << d << " data qubit " << q;
+        }
+    }
+}
+
+TEST_P(WindowDecoding, MeasurementFlipYieldsNoDataFlips)
+{
+    // A lone readout flip must be explained time-like: the committed
+    // correction touches no data qubits.
+    SurfaceLattice lat(5);
+    auto decoder = make(lat);
+    TrialWorkspace ws;
+    const int w = 5;
+    SyndromeWindow win(lat, ErrorType::Z, w + 1);
+    ErrorState state(lat);
+    for (int a = 0; a < lat.numAncilla(ErrorType::Z); ++a) {
+        buildWindow(lat, w, {}, {{}, {a}}, win, state);
+        decoder->decodeWindow(win, ws);
+        EXPECT_TRUE(ws.correction.dataFlips.empty())
+            << GetParam() << " flipped ancilla " << a;
+        const FailureReport report = commitAndClassify(state, ws);
+        EXPECT_FALSE(report.failed());
+    }
+}
+
+TEST_P(WindowDecoding, CorrectsErrorPlusUnrelatedFlip)
+{
+    SurfaceLattice lat(5);
+    auto decoder = make(lat);
+    TrialWorkspace ws;
+    const int w = 5;
+    SyndromeWindow win(lat, ErrorType::Z, w + 1);
+    ErrorState state(lat);
+    // A data error at round 1 and a far-away readout flip at round 3.
+    buildWindow(lat, w, {{}, {7}}, {{}, {}, {}, {17}}, win, state);
+    decoder->decodeWindow(win, ws);
+    const FailureReport report = commitAndClassify(state, ws);
+    EXPECT_FALSE(report.failed()) << GetParam();
+}
+
+TEST_P(WindowDecoding, LateErrorNearCommitRoundIsCorrected)
+{
+    SurfaceLattice lat(3);
+    auto decoder = make(lat);
+    TrialWorkspace ws;
+    const int w = 3;
+    SyndromeWindow win(lat, ErrorType::Z, w + 1);
+    ErrorState state(lat);
+    // Error lands on the last noisy round: only the commit round
+    // confirms it.
+    buildWindow(lat, w, {{}, {}, {2}}, {}, win, state);
+    decoder->decodeWindow(win, ws);
+    const FailureReport report = commitAndClassify(state, ws);
+    EXPECT_FALSE(report.failed()) << GetParam();
+}
+
+TEST_P(WindowDecoding, EmptyWindowYieldsEmptyCorrection)
+{
+    SurfaceLattice lat(3);
+    auto decoder = make(lat);
+    TrialWorkspace ws;
+    SyndromeWindow win(lat, ErrorType::Z, 4);
+    ErrorState state(lat);
+    buildWindow(lat, 3, {}, {}, win, state);
+    decoder->decodeWindow(win, ws);
+    EXPECT_TRUE(ws.correction.dataFlips.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Decoders, WindowDecoding,
+                         ::testing::Values("mwpm", "union_find"),
+                         [](const auto &info) {
+                             return std::string(info.param);
+                         });
+
+TEST(MatchingGraphWindow, TimeLikeWeights)
+{
+    SurfaceLattice lat(3);
+    SyndromeWindow win(lat, ErrorType::Z, 3);
+    Syndrome none(lat, ErrorType::Z);
+    Syndrome hot(lat, ErrorType::Z);
+    hot.set(1, true);
+    win.recordRound(0, none);
+    win.recordRound(1, hot); // events: (1, 1) and (2, 1)
+    win.recordRound(2, none);
+
+    MatchingGraph graph;
+    graph.buildWindow(lat, ErrorType::Z, win);
+    ASSERT_EQ(graph.numNodes(), 2);
+    EXPECT_EQ(graph.ancillaOf(0), 1);
+    EXPECT_EQ(graph.ancillaOf(1), 1);
+    EXPECT_EQ(graph.nodeTime(0), 1);
+    EXPECT_EQ(graph.nodeTime(1), 2);
+    // Same ancilla, one round apart: weight 1, purely time-like.
+    EXPECT_EQ(graph.pairWeight(0, 1), 1);
+    // Boundary legs stay spatial.
+    EXPECT_EQ(graph.boundaryWeight(0),
+              lat.ancillaBoundaryDistance(ErrorType::Z, 1));
+}
+
+TEST(MatchingGraphWindow, SpaceOnlyBuildReportsNoTime)
+{
+    SurfaceLattice lat(3);
+    Syndrome syn(lat, ErrorType::Z);
+    syn.set(0, true);
+    MatchingGraph graph;
+    graph.build(lat, ErrorType::Z, syn);
+    ASSERT_EQ(graph.numNodes(), 1);
+    EXPECT_EQ(graph.nodeTime(0), -1);
+}
+
+TEST(MajorityFallback, GreedyWindowMatchesSingleRoundDecode)
+{
+    // Greedy is not window-aware: a window whose rounds all agree
+    // must decode exactly like the single measured syndrome.
+    SurfaceLattice lat(5);
+    GreedyDecoder greedy(lat, ErrorType::Z);
+    EXPECT_FALSE(greedy.windowAware());
+
+    ErrorState state(lat);
+    state.flip(ErrorType::Z, 3);
+    state.flip(ErrorType::Z, 11);
+    const Syndrome syn = extractSyndrome(state, ErrorType::Z);
+
+    SyndromeWindow win(lat, ErrorType::Z, 3);
+    for (int t = 0; t < 3; ++t)
+        win.recordRound(t, syn);
+
+    TrialWorkspace ws;
+    greedy.decodeWindow(win, ws);
+    std::vector<int> windowed = ws.correction.dataFlips;
+    greedy.decode(syn, ws);
+    std::vector<int> single = ws.correction.dataFlips;
+    std::sort(windowed.begin(), windowed.end());
+    std::sort(single.begin(), single.end());
+    EXPECT_EQ(windowed, single);
+}
+
+TEST(MajorityFallback, OutvotesOneNoisyRound)
+{
+    // One corrupted round in a 5-round window must not change the
+    // majority reduction.
+    SurfaceLattice lat(3);
+    GreedyDecoder greedy(lat, ErrorType::Z);
+    ErrorState state(lat);
+    state.flip(ErrorType::Z, 0);
+    const Syndrome truth = extractSyndrome(state, ErrorType::Z);
+    Syndrome corrupted = truth;
+    corrupted.flip(4);
+
+    SyndromeWindow win(lat, ErrorType::Z, 5);
+    win.recordRound(0, truth);
+    win.recordRound(1, corrupted);
+    win.recordRound(2, truth);
+    win.recordRound(3, truth);
+    win.recordRound(4, truth);
+
+    TrialWorkspace ws;
+    greedy.decodeWindow(win, ws);
+    ws.correction.applyTo(state, ErrorType::Z);
+    EXPECT_FALSE(classifyResidual(state, ErrorType::Z).failed());
+}
+
+} // namespace
+} // namespace nisqpp

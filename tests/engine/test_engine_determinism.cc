@@ -142,7 +142,7 @@ TEST(EngineDeterminism, BatchedDepolarizingSweepMatchesScalar)
     SweepConfig config;
     config.distances = {3};
     config.physicalRates = {0.06};
-    config.depolarizing = true;
+    config.noise = NoiseSpec::depolarizing();
     config.stopRule = {300, 300, 1u << 30};
     config.seed = 0xd0d0ULL;
     const auto factory = meshDecoderFactory(MeshConfig::finalDesign());
@@ -155,6 +155,32 @@ TEST(EngineDeterminism, BatchedDepolarizingSweepMatchesScalar)
     batched.batchLanes = 33;
 
     Engine a(scalar), b(batched);
+    expectIdentical(a.runSweep(config, factory),
+                    b.runSweep(config, factory));
+}
+
+TEST(EngineDeterminism, WindowedSweepIsThreadAndLaneInvariant)
+{
+    // The faulty-measurement windowed protocol inherits the headline
+    // guarantee: sharded windowed cells merge to the same bytes at
+    // any thread count, batched or scalar.
+    SweepConfig config;
+    config.distances = {3};
+    config.physicalRates = {0.02, 0.04};
+    config.noise = NoiseSpec::dephasing().withQ(0.02); // q fixed
+    config.windowRounds = 3;
+    config.stopRule = {400, 400, 1u << 30};
+    config.seed = 0x91ceULL;
+    const auto factory = unionFindDecoderFactory();
+
+    EngineOptions scalar;
+    scalar.threads = 1;
+    scalar.shardTrials = 64;
+    EngineOptions batchedMt = scalar;
+    batchedMt.threads = 4;
+    batchedMt.batchLanes = 13;
+
+    Engine a(scalar), b(batchedMt);
     expectIdentical(a.runSweep(config, factory),
                     b.runSweep(config, factory));
 }

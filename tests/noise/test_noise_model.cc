@@ -1,0 +1,111 @@
+/** @file NoiseModel composition, NoiseSpec dispatch, and the
+ * subsystem's interface semantics. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "noise/noise_model.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(NoiseModel, FactoriesReportRatesAndNames)
+{
+    EXPECT_DOUBLE_EQ(NoiseModel::dephasing(0.05).physicalRate(), 0.05);
+    EXPECT_EQ(NoiseModel::dephasing(0.05).name(), "dephasing");
+    EXPECT_EQ(NoiseModel::depolarizing(0.05).name(), "depolarizing");
+    EXPECT_DOUBLE_EQ(
+        NoiseModel::biased(0.03, 10.0).physicalRate(), 0.03);
+    EXPECT_EQ(NoiseModel::erasure(0.02).name(), "erasure");
+    // q > 0 is carried in the name (telemetry provenance).
+    EXPECT_NE(NoiseModel::dephasing(0.05, 0.01).name().find("meas"),
+              std::string::npos);
+}
+
+TEST(NoiseModel, MeasurementFlipRateIsExposed)
+{
+    EXPECT_DOUBLE_EQ(
+        NoiseModel::dephasing(0.05).measurementFlipRate(), 0.0);
+    EXPECT_DOUBLE_EQ(
+        NoiseModel::dephasing(0.05, 0.02).measurementFlipRate(), 0.02);
+}
+
+TEST(NoiseModel, ProducesXFollowsChannels)
+{
+    EXPECT_FALSE(NoiseModel::dephasing(0.05).producesX());
+    EXPECT_TRUE(NoiseModel::depolarizing(0.05).producesX());
+    EXPECT_TRUE(NoiseModel::biased(0.05, 10.0).producesX());
+    EXPECT_TRUE(NoiseModel::erasure(0.05).producesX());
+}
+
+TEST(NoiseModel, ComposedChannelsSampleInOrder)
+{
+    // Composition: dephasing + depolarizing draws the dephasing loop
+    // first, then the depolarizing loop — the same bits as running
+    // two single-channel models back to back on one RNG.
+    SurfaceLattice lat(5);
+    NoiseModel composite;
+    composite.add(std::make_unique<DephasingChannel>(0.1))
+        .add(std::make_unique<DepolarizingChannel>(0.05));
+    EXPECT_DOUBLE_EQ(composite.physicalRate(), 0.15);
+    EXPECT_EQ(composite.name(), "dephasing+depolarizing");
+    EXPECT_EQ(composite.numChannels(), 2u);
+
+    Rng r1(11), r2(11);
+    ErrorState s1(lat), s2(lat);
+    composite.sample(r1, s1);
+    NoiseModel::dephasing(0.1).sample(r2, s2);
+    NoiseModel::depolarizing(0.05).sample(r2, s2);
+    EXPECT_EQ(s1.bits(ErrorType::Z), s2.bits(ErrorType::Z));
+    EXPECT_EQ(s1.bits(ErrorType::X), s2.bits(ErrorType::X));
+}
+
+TEST(NoiseSpec, FromSpecDispatchesEveryKind)
+{
+    for (NoiseKind kind : noiseKindRegistry()) {
+        NoiseSpec spec;
+        spec.kind = kind;
+        const NoiseModel model = NoiseModel::fromSpec(spec, 0.04);
+        EXPECT_DOUBLE_EQ(model.physicalRate(), 0.04)
+            << noiseKindName(kind);
+        // Only the pure-dephasing kind is X-free (the channel
+        // overrides are the single source of truth).
+        EXPECT_EQ(model.producesX(), kind != NoiseKind::Dephasing)
+            << noiseKindName(kind);
+    }
+}
+
+TEST(NoiseSpec, RegistryNamesAreUniqueAndNonEmpty)
+{
+    const auto &kinds = noiseKindRegistry();
+    EXPECT_EQ(kinds.size(), 4u);
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+        EXPECT_FALSE(noiseKindName(kinds[i]).empty());
+        for (std::size_t j = i + 1; j < kinds.size(); ++j)
+            EXPECT_NE(noiseKindName(kinds[i]),
+                      noiseKindName(kinds[j]));
+    }
+}
+
+TEST(NoiseSpec, CarriesMeasurementRateIntoModels)
+{
+    const NoiseSpec spec = NoiseSpec::biased(8.0).withQ(0.015);
+    const NoiseModel model = NoiseModel::fromSpec(spec, 0.02);
+    EXPECT_DOUBLE_EQ(model.measurementFlipRate(), 0.015);
+    const auto heap = makeNoiseModel(spec, 0.02);
+    EXPECT_DOUBLE_EQ(heap->measurementFlipRate(), 0.015);
+    EXPECT_DOUBLE_EQ(heap->physicalRate(), 0.02);
+}
+
+TEST(NoiseModelDeath, RejectsBadRates)
+{
+    EXPECT_DEATH(NoiseModel::dephasing(-0.1), "p out of");
+    EXPECT_DEATH(NoiseModel::depolarizing(1.5), "p out of");
+    EXPECT_DEATH(NoiseModel::biased(0.1, -1.0), "eta");
+    EXPECT_DEATH(NoiseModel::erasure(2.0), "p out of");
+    EXPECT_DEATH(NoiseModel::dephasing(0.1, -0.5), "q out of");
+}
+
+} // namespace
+} // namespace nisqpp

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "decoders/workspace.hh"
+#include "obs/metrics.hh"
 
 namespace nisqpp {
 
@@ -494,12 +495,38 @@ MeshDecoder::meshStats(std::size_t lane) const
     return lane < batchStats_.size() ? &batchStats_[lane] : nullptr;
 }
 
+void
+MeshDecoder::exportMetrics(obs::MetricSet &out) const
+{
+    if (decodes_ == 0)
+        return;
+    out.add("decoder.mesh.decodes", decodes_);
+    out.add("decoder.mesh.cycles", cyclesTotal_);
+    out.add("decoder.mesh.pairings", pairingsTotal_);
+    out.add("decoder.mesh.resets", resetsTotal_);
+    out.add("decoder.mesh.cycles_capped", cappedTotal_);
+    out.add("decoder.mesh.quiesced", quiescedTotal_);
+}
+
 template <typename W>
 void
 MeshDecoder::finishLane(LaneEngine<W> &e, int lane, Correction &out,
                         MeshDecodeStats &stats)
 {
     stats.remainingHot = e.hotCount[lane];
+
+    // Every completed trial — scalar or batched — retires through
+    // here exactly once, so this is the single accumulation point for
+    // the deterministic work counters (stats.cycles and the exit
+    // flags are final by now; pairings/resets latched in stepLanes).
+    ++decodes_;
+    cyclesTotal_ += static_cast<std::uint64_t>(stats.cycles);
+    pairingsTotal_ += static_cast<std::uint64_t>(stats.pairings);
+    resetsTotal_ += static_cast<std::uint64_t>(stats.resets);
+    if (stats.timedOut)
+        ++cappedTotal_;
+    if (stats.quiesced)
+        ++quiescedTotal_;
 
     // Harvest this lane's chain bits into data-qubit flips (ascending
     // row, then column — identical to the scalar readout order).

@@ -98,6 +98,14 @@ class MeshDecoder : public Decoder
 
     const MeshDecodeStats *meshStats(std::size_t lane = 0) const override;
 
+    /**
+     * Emit `decoder.mesh.*` work counters accumulated since
+     * construction: decode counts, total mesh cycles/pairings/resets,
+     * and the cap (`decoder.mesh.cycles_capped`) and quiescence exit
+     * counts. Scalar and batched decodes accumulate identically.
+     */
+    void exportMetrics(obs::MetricSet &out) const override;
+
     std::string name() const override
     {
         return "sfq-mesh[" + config_.label() + "]";
@@ -215,6 +223,15 @@ class MeshDecoder : public Decoder
 
     /** Telemetry of the last decode, one entry per lane decoded. */
     std::vector<MeshDecodeStats> batchStats_{1};
+
+    /** Deterministic work counters (see exportMetrics). @{ */
+    std::uint64_t decodes_ = 0;
+    std::uint64_t cyclesTotal_ = 0;
+    std::uint64_t pairingsTotal_ = 0;
+    std::uint64_t resetsTotal_ = 0;
+    std::uint64_t cappedTotal_ = 0;
+    std::uint64_t quiescedTotal_ = 0;
+    /** @} */
 
     /** decodeBatch() per-trial output pointers (reused, no alloc). */
     std::vector<Correction *> outScratch_;

@@ -144,6 +144,7 @@ BlossomMatcher::setMatch(int u, int v)
 void
 BlossomMatcher::augment(int u, int v)
 {
+    ++augments_;
     for (;;) {
         const int xnv = st_[match_[u]];
         setMatch(u, v);
@@ -351,8 +352,10 @@ BlossomMatcher::solve(std::vector<int> &mate)
 {
     require(n_ % 2 == 0, "BlossomMatcher::solve: odd vertex count");
     mate.assign(n_, -1);
+    lastAugments_ = 0;
     if (n_ == 0)
         return 0;
+    const std::int64_t augmentsBefore = augments_;
 
     // Transform to maximum-weight matching: w' = 2 * (C - w). C must be
     // large enough that any larger-cardinality matching outweighs any
@@ -389,6 +392,7 @@ BlossomMatcher::solve(std::vector<int> &mate)
         ++n_matches;
     require(n_matches * 2 == n_,
             "BlossomMatcher: no perfect matching exists");
+    lastAugments_ = augments_ - augmentsBefore;
 
     long total = 0;
     for (int u = 1; u <= n_; ++u) {

@@ -57,6 +57,9 @@ class BlossomMatcher
      */
     long solve(std::vector<int> &mate);
 
+    /** Augmenting-path count of the most recent solve (telemetry). */
+    std::int64_t lastAugmentations() const { return lastAugments_; }
+
   private:
     struct Edge
     {
@@ -96,6 +99,8 @@ class BlossomMatcher
     std::vector<int> queue_;
     std::size_t qHead_ = 0;
     std::int64_t visitStamp_ = 0;
+    std::int64_t augments_ = 0;     ///< lifetime augment() count
+    std::int64_t lastAugments_ = 0; ///< augments of the last solve()
     std::vector<std::vector<long>> userWeight_;
 };
 

@@ -21,6 +21,10 @@
 
 namespace nisqpp {
 
+namespace obs {
+class MetricSet;
+}
+
 class TrialWorkspace;
 
 /** A decoder's output: data-qubit flips of the decoded error type. */
@@ -121,6 +125,21 @@ class Decoder
     }
 
     virtual std::string name() const = 0;
+
+    /**
+     * Export the deterministic work counters accumulated since
+     * construction into @p out under this decoder's `decoder.<kind>.*`
+     * namespace (UF growth rounds and peel lengths, blossom
+     * augmentations, mesh cycle/cap/quiescence counts). Counters only
+     * depend on the decoded syndromes, never on the host, so exported
+     * sets merge deterministically across shards. Default: no-op for
+     * decoders without instrumentation.
+     */
+    virtual void
+    exportMetrics(obs::MetricSet &out) const
+    {
+        (void)out;
+    }
 
   private:
     const SurfaceLattice *lattice_;

@@ -3,8 +3,21 @@
 #include "common/logging.hh"
 #include "decoders/path.hh"
 #include "decoders/workspace.hh"
+#include "obs/metrics.hh"
 
 namespace nisqpp {
+
+void
+MwpmDecoder::exportMetrics(obs::MetricSet &out) const
+{
+    if (decodes_ == 0)
+        return;
+    out.add("decoder.mwpm.decodes", decodes_);
+    out.add("decoder.mwpm.window_decodes", windowDecodes_);
+    out.add("decoder.mwpm.augmentations", augmentationsTotal_);
+    out.add("decoder.mwpm.pairs", pairsTotal_);
+    out.add("decoder.mwpm.correction_flips", correctionFlipsTotal_);
+}
 
 Correction
 MwpmDecoder::decode(const Syndrome &syndrome)
@@ -21,6 +34,7 @@ MwpmDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
 {
     pairs_.clear();
     ws.correction.clear();
+    ++decodes_;
     ws.graph.build(lattice(), type(), syndrome);
     matchBuiltGraph(ws);
 }
@@ -31,6 +45,8 @@ MwpmDecoder::decodeWindow(const SyndromeWindow &window,
 {
     pairs_.clear();
     ws.correction.clear();
+    ++decodes_;
+    ++windowDecodes_;
     ws.graph.buildWindow(lattice(), type(), window);
     matchBuiltGraph(ws);
 }
@@ -57,6 +73,8 @@ MwpmDecoder::matchBuiltGraph(TrialWorkspace &ws)
             matcher.setWeight(k + i, k + j, 0);
     }
     matcher.solve(ws.mate);
+    augmentationsTotal_ +=
+        static_cast<std::uint64_t>(matcher.lastAugmentations());
 
     for (int i = 0; i < k; ++i) {
         const int m = ws.mate[i];
@@ -77,6 +95,8 @@ MwpmDecoder::matchBuiltGraph(TrialWorkspace &ws)
                                            ws.correction.dataFlips);
         }
     }
+    pairsTotal_ += pairs_.size();
+    correctionFlipsTotal_ += ws.correction.dataFlips.size();
 }
 
 } // namespace nisqpp

@@ -10,6 +10,8 @@
 #ifndef NISQPP_DECODERS_MWPM_DECODER_HH
 #define NISQPP_DECODERS_MWPM_DECODER_HH
 
+#include <cstdint>
+
 #include "decoders/decoder.hh"
 #include "decoders/matching_graph.hh"
 
@@ -42,6 +44,13 @@ class MwpmDecoder : public Decoder
     /** The pairing decisions of the last decode (for inspection). */
     const std::vector<MatchPair> &lastMatching() const { return pairs_; }
 
+    /**
+     * Emit `decoder.mwpm.*` work counters accumulated since
+     * construction: decode counts, blossom augmenting paths, matched
+     * pairs and emitted correction length.
+     */
+    void exportMetrics(obs::MetricSet &out) const override;
+
   private:
     /**
      * Shared matcher body: solve ws.graph (already built, space-only
@@ -52,6 +61,14 @@ class MwpmDecoder : public Decoder
     void matchBuiltGraph(TrialWorkspace &ws);
 
     std::vector<MatchPair> pairs_;
+
+    /** Deterministic work counters (see exportMetrics). @{ */
+    std::uint64_t decodes_ = 0;
+    std::uint64_t windowDecodes_ = 0;
+    std::uint64_t augmentationsTotal_ = 0;
+    std::uint64_t pairsTotal_ = 0;
+    std::uint64_t correctionFlipsTotal_ = 0;
+    /** @} */
 };
 
 } // namespace nisqpp

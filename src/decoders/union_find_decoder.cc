@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "decoders/workspace.hh"
+#include "obs/metrics.hh"
 
 namespace nisqpp {
 
@@ -94,16 +95,41 @@ UnionFindDecoder::decode(const Syndrome &syndrome)
 }
 
 void
+UnionFindDecoder::noteDecode(const TrialWorkspace &ws)
+{
+    ++decodes_;
+    growthRoundsTotal_ += static_cast<std::uint64_t>(lastRounds_);
+    roundsHist_.add(static_cast<std::size_t>(lastRounds_));
+    peelFlipsTotal_ += ws.correction.dataFlips.size();
+}
+
+void
+UnionFindDecoder::exportMetrics(obs::MetricSet &out) const
+{
+    if (decodes_ == 0)
+        return;
+    out.add("decoder.uf.decodes", decodes_);
+    out.add("decoder.uf.window_decodes", windowDecodes_);
+    out.add("decoder.uf.growth_rounds", growthRoundsTotal_);
+    out.add("decoder.uf.peel_flips", peelFlipsTotal_);
+    out.mergeHistogram("decoder.uf.growth_rounds", roundsHist_,
+                       growthRoundsTotal_);
+}
+
+void
 UnionFindDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
 {
     ws.correction.clear();
     lastRounds_ = 0;
-    if (syndrome.weight() == 0)
+    if (syndrome.weight() == 0) {
+        noteDecode(ws);
         return;
+    }
     ws.ufSeeds.clear();
     syndrome.forEachHot(
         [&ws](int a) { ws.ufSeeds.push_back(a); });
     decodeOnGraph(graph_, ws.ufSeeds, 4 * lattice().gridSize() + 8, ws);
+    noteDecode(ws);
 }
 
 void
@@ -112,8 +138,11 @@ UnionFindDecoder::decodeWindow(const SyndromeWindow &window,
 {
     ws.correction.clear();
     lastRounds_ = 0;
-    if (window.eventWeight() == 0)
+    ++windowDecodes_;
+    if (window.eventWeight() == 0) {
+        noteDecode(ws);
         return;
+    }
     const int na = window.numAncilla();
     ws.ufSeeds.clear();
     window.forEachEvent([&ws, na](int t, int a) {
@@ -121,6 +150,7 @@ UnionFindDecoder::decodeWindow(const SyndromeWindow &window,
     });
     decodeOnGraph(windowGraph(window.rounds()), ws.ufSeeds,
                   4 * (lattice().gridSize() + window.rounds()) + 8, ws);
+    noteDecode(ws);
 }
 
 void

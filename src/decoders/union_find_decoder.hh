@@ -16,6 +16,9 @@
 #ifndef NISQPP_DECODERS_UNION_FIND_DECODER_HH
 #define NISQPP_DECODERS_UNION_FIND_DECODER_HH
 
+#include <cstdint>
+
+#include "common/stats.hh"
 #include "decoders/decoder.hh"
 
 namespace nisqpp {
@@ -42,6 +45,13 @@ class UnionFindDecoder : public Decoder
 
     /** Growth rounds used by the last decode (telemetry). */
     int lastGrowthRounds() const { return lastRounds_; }
+
+    /**
+     * Emit `decoder.uf.*` work counters accumulated since
+     * construction: decode counts, total growth rounds, total peeled
+     * correction length, plus a growth-round histogram.
+     */
+    void exportMetrics(obs::MetricSet &out) const override;
 
   private:
     struct GraphEdge
@@ -78,10 +88,21 @@ class UnionFindDecoder : public Decoder
     /** Build (or reuse) the spacetime graph for @p rounds rounds. */
     const Graph &windowGraph(int rounds);
 
+    /** Fold the just-finished decode into the work counters. */
+    void noteDecode(const TrialWorkspace &ws);
+
     Graph graph_;       ///< 2D ancilla graph (built once)
     Graph windowGraph_; ///< spacetime graph cache
     int windowGraphRounds_ = 0;
     int lastRounds_ = 0;
+
+    /** Deterministic work counters (see exportMetrics). @{ */
+    std::uint64_t decodes_ = 0;
+    std::uint64_t windowDecodes_ = 0;
+    std::uint64_t growthRoundsTotal_ = 0;
+    std::uint64_t peelFlipsTotal_ = 0;
+    Histogram roundsHist_{63};
+    /** @} */
 };
 
 } // namespace nisqpp

@@ -3,10 +3,13 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "common/logging.hh"
 #include "engine/scenarios.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
 
 namespace nisqpp {
 
@@ -77,6 +80,18 @@ ScenarioContext::finish()
 {
     if (options_.format == OutputFormat::Json)
         os_ << "]}\n";
+}
+
+obs::MetricSet
+ScenarioContext::collectMetrics() const
+{
+    obs::MetricSet out = metrics_;
+    if (engine_) {
+        out.merge(engine_->metrics());
+        engine_->runtimeMetricsInto(out);
+    }
+    obs::stageTimingInto(out);
+    return out;
 }
 
 const std::vector<Scenario> &
@@ -159,9 +174,57 @@ runScenario(const std::string &name, const RunOptions &options,
         std::cerr << "(run 'nisqpp_run --list' for descriptions)\n";
         return 1;
     }
+    // Open both sinks before any work runs: a bad path should fail
+    // fast instead of discarding a long run's report at the end.
+    std::ofstream metricsFile;
+    if (!options.metricsOut.empty()) {
+        metricsFile.open(options.metricsOut);
+        if (!metricsFile) {
+            std::cerr << "cannot open --metrics-out '"
+                      << options.metricsOut << "' for writing\n";
+            return 1;
+        }
+    }
+    std::ofstream traceFile;
+    if (!options.traceOut.empty()) {
+        traceFile.open(options.traceOut);
+        if (!traceFile) {
+            std::cerr << "cannot open --trace-out '"
+                      << options.traceOut << "' for writing\n";
+            return 1;
+        }
+    }
+
+    const bool wantTiming =
+        !options.metricsOut.empty() || !options.traceOut.empty();
+    if (wantTiming) {
+        obs::resetStageTimes();
+        obs::setTimingCollection(true);
+        obs::setTraceCapture(!options.traceOut.empty());
+    }
+
     ScenarioContext ctx(options, os);
     scenario->run(ctx);
     ctx.finish();
+
+    if (wantTiming) {
+        obs::setTimingCollection(false);
+        obs::setTraceCapture(false);
+        if (metricsFile.is_open()) {
+            obs::RunReportConfig cfg;
+            cfg.scenario = name;
+            cfg.threads = options.threads;
+            cfg.shardTrials = options.shardTrials;
+            cfg.trialsScale = options.trialsScale;
+            cfg.seed = options.seed;
+            cfg.seedSet = options.seedSet;
+            cfg.batchLanes = options.batchLanes;
+            obs::writeRunReport(metricsFile, cfg,
+                                ctx.collectMetrics());
+        }
+        if (traceFile.is_open())
+            obs::writeChromeTrace(traceFile);
+    }
     return 0;
 }
 
@@ -174,7 +237,8 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
     if (withScenario)
         os << " [--scenario] NAME";
     os << " [--threads N] [--shard-trials N] [--trials-scale X]"
-          " [--seed S] [--batch N] [--format table|csv|json]";
+          " [--seed S] [--batch N] [--format table|csv|json]"
+          " [--metrics-out FILE] [--trace-out FILE]";
     if (withScenario)
         os << " [--list]";
     os << " [--help]\n";
@@ -183,6 +247,10 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
         for (const Scenario &s : scenarioRegistry())
             os << "  " << s.name << "  -  " << s.description << "\n";
     }
+    os << "\n--metrics-out writes a versioned JSON run report "
+          "(deterministic counters\nplus masked timing/scheduling "
+          "summaries); --trace-out writes a\nchrome://tracing event "
+          "dump of the instrumented stages.\n";
     os << "\nNISQPP_TRIALS (env) multiplies trial budgets on top of"
           " --trials-scale.\n";
     os << "NISQPP_BATCH (env) / --batch N group N rounds per decode"
@@ -266,6 +334,14 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 fatal("--seed: expected an unsigned 64-bit integer, "
                       "got '" + std::string(text) + "'");
             parsed.options.seedSet = true;
+        } else if (arg == "--metrics-out") {
+            parsed.options.metricsOut = value();
+            if (parsed.options.metricsOut.empty())
+                fatal("--metrics-out: expected a file path");
+        } else if (arg == "--trace-out") {
+            parsed.options.traceOut = value();
+            if (parsed.options.traceOut.empty())
+                fatal("--trace-out: expected a file path");
         } else if (arg == "--format") {
             const std::string text = value();
             if (text == "table")

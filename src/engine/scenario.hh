@@ -18,6 +18,7 @@
 
 #include "common/table.hh"
 #include "engine/sweep.hh"
+#include "obs/metrics.hh"
 
 namespace nisqpp {
 
@@ -44,6 +45,10 @@ struct RunOptions
      * substrate. Aggregates are byte-identical either way.
      */
     std::size_t batchLanes = 1;
+    /** --metrics-out FILE: write the machine-readable run report. */
+    std::string metricsOut;
+    /** --trace-out FILE: write a chrome://tracing event dump. */
+    std::string traceOut;
 };
 
 /**
@@ -78,10 +83,27 @@ class ScenarioContext
     /** Close the output document (JSON footer); called by the runner. */
     void finish();
 
+    /**
+     * Scenario-local metric sink: scenario bodies fold deterministic
+     * counters here (streaming cells, analytic scenarios) alongside
+     * whatever the engine accumulates through its sharded runs.
+     */
+    obs::MetricSet &metrics() { return metrics_; }
+
+    /**
+     * Full run-report metric set: the scenario-local sink merged with
+     * the engine's deterministic totals, plus the masked sched.* pool
+     * counters and timing.* span summaries (when collected). The
+     * non-masked section is a function of (scenario, options, seed)
+     * only — never of the thread count.
+     */
+    obs::MetricSet collectMetrics() const;
+
   private:
     RunOptions options_;
     std::ostream &os_;
     std::unique_ptr<Engine> engine_; ///< lazily constructed
+    obs::MetricSet metrics_;
     bool firstTable_ = true;
 };
 

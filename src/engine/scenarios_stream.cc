@@ -113,6 +113,12 @@ runStreamCells(ScenarioContext &ctx, const std::vector<StreamCell> &cells)
         });
     }
     ctx.engine().runJobs(std::move(jobs));
+    // Fold each cell's deterministic stream.*/decoder.* counters into
+    // the scenario sink in fixed cell order: every job is a
+    // deterministic function of its cell config, so the fold is
+    // thread-count-invariant.
+    for (const StreamingResult &r : results)
+        ctx.metrics().merge(r.metrics);
     return results;
 }
 

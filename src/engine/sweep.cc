@@ -9,6 +9,7 @@
 #include "common/logging.hh"
 #include "decoders/workspace.hh"
 #include "engine/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace nisqpp {
 
@@ -90,6 +91,7 @@ runShard(const CellSpec &spec, const Shard &shard)
     // from it, so steady-state decoding performs no heap allocation.
     static thread_local TrialWorkspace workspace;
 
+    obs::TraceSpan span(obs::Stage::Shard);
     auto z_dec = (*spec.factory)(*spec.lattice, ErrorType::Z);
     std::unique_ptr<Decoder> x_dec;
     const std::unique_ptr<NoiseModel> model =
@@ -104,7 +106,21 @@ runShard(const CellSpec &spec, const Shard &shard)
     StopRule fixed;
     fixed.minTrials = fixed.maxTrials = shard.trials;
     fixed.targetFailures = ~std::size_t{0};
-    return sim.run(fixed);
+    MonteCarloResult result = sim.run(fixed);
+
+    // Attach this shard's deterministic work counters to the result:
+    // they ride through the ordered prefix merge with it, so shards
+    // discarded past the stop index drop their counters too and the
+    // aggregate stays byte-identical at any thread count. The decoders
+    // are shard-private, so their exported totals are exactly this
+    // shard's work.
+    result.metrics.add("engine.shards");
+    result.metrics.add("engine.trials", result.trials);
+    result.metrics.add("engine.failures", result.failures);
+    z_dec->exportMetrics(result.metrics);
+    if (x_dec)
+        x_dec->exportMetrics(result.metrics);
+    return result;
 }
 
 } // namespace
@@ -226,8 +242,22 @@ MonteCarloResult
 Engine::collectCell(CellRun &run)
 {
     MonteCarloResult result = std::move(run.acc);
+    result.metrics.add("engine.cells");
     result.finalize();
+    // Fold in collect order, which is fixed (runSweep collects in grid
+    // order, runCell immediately) — so engine totals inherit the
+    // per-cell determinism.
+    totals_.merge(result.metrics);
     return result;
+}
+
+void
+Engine::runtimeMetricsInto(obs::MetricSet &out) const
+{
+    out.maxGauge("sched.pool.threads",
+                 static_cast<std::uint64_t>(pool_->threadCount()));
+    out.add("sched.pool.tasks", pool_->taskCount());
+    out.add("sched.pool.steals", pool_->stealCount());
 }
 
 MonteCarloResult

@@ -162,15 +162,32 @@ class Engine
      */
     void runJobs(std::vector<std::function<void()>> jobs);
 
+    /**
+     * Deterministic metrics of every cell collected so far: the merge
+     * of each cell's ordered-prefix shard metrics (engine.* trial
+     * counters plus exported decoder.* work counters), folded in
+     * collect order. Independent of the thread count.
+     */
+    const obs::MetricSet &metrics() const { return totals_; }
+
+    /**
+     * Append the engine's host-dependent runtime counters to @p out:
+     * `sched.pool.threads/tasks/steals` from the thread pool. Steal
+     * counts are scheduling races at N > 1 threads, hence the masked
+     * `sched.*` namespace (a 1-thread pool reports zero steals).
+     */
+    void runtimeMetricsInto(obs::MetricSet &out) const;
+
   private:
     struct CellRun; ///< in-flight ordered-merge state of one cell
 
     void scheduleCell(const CellSpec &spec, CellRun &run);
     void pumpCell(CellRun &run);
-    static MonteCarloResult collectCell(CellRun &run);
+    MonteCarloResult collectCell(CellRun &run);
 
     EngineOptions options_;
     std::unique_ptr<ThreadPool> pool_;
+    obs::MetricSet totals_;
 };
 
 } // namespace nisqpp

@@ -84,6 +84,7 @@ ThreadPool::tryAcquire(std::size_t self, Task &out)
         if (!victim.tasks.empty()) {
             out = std::move(victim.tasks.front());
             victim.tasks.pop_front();
+            stolen_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }
@@ -97,6 +98,7 @@ ThreadPool::workerLoop(std::size_t self)
         Task task;
         if (tryAcquire(self, task)) {
             task();
+            executed_.fetch_add(1, std::memory_order_relaxed);
             std::lock_guard<std::mutex> lock(stateMutex_);
             if (--inflight_ == 0)
                 allDone_.notify_all();

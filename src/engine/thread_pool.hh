@@ -14,6 +14,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -55,6 +56,23 @@ class ThreadPool
     /** Block until all tasks submitted so far have completed. */
     void wait();
 
+    /** Tasks executed to completion over the pool's lifetime. */
+    std::uint64_t taskCount() const
+    {
+        return executed_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Tasks a worker popped from another worker's queue. Zero on a
+     * 1-thread pool (there is no victim to steal from); at N > 1
+     * threads the count depends on scheduling races, so it is
+     * reported under the masked `sched.*` metric namespace.
+     */
+    std::uint64_t stealCount() const
+    {
+        return stolen_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** One worker's deque; the mutex arbitrates owner vs thieves. */
     struct WorkQueue
@@ -70,6 +88,8 @@ class ThreadPool
     std::vector<std::thread> workers_;
     std::atomic<bool> shutdown_{false};
     std::atomic<std::size_t> nextQueue_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> stolen_{0};
 
     /** Tasks submitted but not yet finished (for wait()). */
     std::size_t inflight_ = 0;

@@ -1,0 +1,45 @@
+#include "obs/report.hh"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.hh"
+
+namespace nisqpp::obs {
+
+namespace {
+
+/** Shortest round-trippable decimal text for a double. */
+std::string
+doubleText(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+writeRunReport(std::ostream &os, const RunReportConfig &config,
+               const MetricSet &metrics)
+{
+    os << "{\"schema\":\"" << kRunReportSchema
+       << "\",\"version\":" << kRunReportVersion
+       << ",\"scenario\":\"" << config.scenario << '"';
+    os << ",\"config\":{\"threads\":" << config.threads
+       << ",\"shard_trials\":" << config.shardTrials
+       << ",\"trials_scale\":" << doubleText(config.trialsScale)
+       << ",\"seed\":" << config.seed
+       << ",\"seed_set\":" << (config.seedSet ? "true" : "false")
+       << ",\"batch_lanes\":" << config.batchLanes << '}';
+    os << ",\"counters\":";
+    metrics.writeScalarsJson(os, /*masked=*/false);
+    os << ",\"histograms\":";
+    metrics.writeHistogramsJson(os);
+    os << ",\"timing\":";
+    metrics.writeScalarsJson(os, /*masked=*/true);
+    os << "}\n";
+}
+
+} // namespace nisqpp::obs

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Machine-readable run report: one versioned JSON document per
+ * `nisqpp_run --metrics-out FILE` invocation, carrying the scenario
+ * name, the effective run configuration, the deterministic counter
+ * section (byte-identical across thread counts for a fixed seed —
+ * the contract bench_compare pins in CI), the deterministic
+ * histograms, and a separately-tagged "timing" section holding the
+ * masked wall-clock/scheduler metrics.
+ */
+
+#ifndef NISQPP_OBS_REPORT_HH
+#define NISQPP_OBS_REPORT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace nisqpp::obs {
+
+class MetricSet;
+
+/** Document schema identifier and version written into every report. */
+inline constexpr const char *kRunReportSchema = "nisqpp.run-report";
+inline constexpr int kRunReportVersion = 1;
+
+/** Effective configuration echoed into the report's "config" block. */
+struct RunReportConfig
+{
+    std::string scenario;
+    int threads = 1;
+    std::size_t shardTrials = 512;
+    double trialsScale = 1.0;
+    std::uint64_t seed = 0;
+    bool seedSet = false;
+    std::size_t batchLanes = 1;
+};
+
+/**
+ * Write the full report. Deterministic scalars land in "counters",
+ * deterministic histograms in "histograms", and masked (timing.* /
+ * sched.*) scalars in "timing".
+ */
+void writeRunReport(std::ostream &os, const RunReportConfig &config,
+                    const MetricSet &metrics);
+
+} // namespace nisqpp::obs
+
+#endif // NISQPP_OBS_REPORT_HH

@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "decoders/workspace.hh"
+#include "obs/trace.hh"
 
 namespace nisqpp {
 
@@ -66,6 +67,7 @@ MonteCarloResult::merge(const MonteCarloResult &other)
     syndromeResidualFailures += other.syndromeResidualFailures;
     cycles.merge(other.cycles);
     cycleHistogram.merge(other.cycleHistogram);
+    metrics.merge(other.metrics);
 }
 
 void
@@ -218,13 +220,23 @@ LifetimeSimulator::runWindowTrial(MonteCarloResult &acc)
         winX_ = std::make_unique<SyndromeWindow>(lattice_, ErrorType::X,
                                                  total);
 
-    fillWindows(state_, *winZ_, xDecoder_ ? winX_.get() : nullptr);
-    zDecoder_.decodeWindow(*winZ_, *ws_);
+    {
+        obs::TraceSpan span(obs::Stage::Sample);
+        fillWindows(state_, *winZ_, xDecoder_ ? winX_.get() : nullptr);
+    }
+    {
+        obs::TraceSpan span(obs::Stage::Decode);
+        zDecoder_.decodeWindow(*winZ_, *ws_);
+    }
     ws_->correction.applyTo(state_, ErrorType::Z);
     if (xDecoder_) {
-        xDecoder_->decodeWindow(*winX_, *ws_);
+        {
+            obs::TraceSpan span(obs::Stage::Decode);
+            xDecoder_->decodeWindow(*winX_, *ws_);
+        }
         ws_->correction.applyTo(state_, ErrorType::X);
     }
+    obs::TraceSpan span(obs::Stage::Classify);
     return classifyWindowTrial(state_, acc);
 }
 
@@ -249,25 +261,35 @@ LifetimeSimulator::runWindowBatch(std::size_t count,
 
     // Fill every lane's window up front — lane l's draw sequence is
     // exactly what scalar trial l would have drawn.
-    for (std::size_t l = 0; l < count; ++l)
-        fillWindows(batchStates_[l], batchWinZ_[l],
-                    xDecoder_ ? &batchWinX_[l] : nullptr);
+    {
+        obs::TraceSpan span(obs::Stage::Sample);
+        for (std::size_t l = 0; l < count; ++l)
+            fillWindows(batchStates_[l], batchWinZ_[l],
+                        xDecoder_ ? &batchWinX_[l] : nullptr);
+    }
 
     for (std::size_t l = 0; l < count; ++l)
         winPtrs_[l] = &batchWinZ_[l];
-    zDecoder_.decodeWindowBatch(winPtrs_.data(), count, *ws_);
+    {
+        obs::TraceSpan span(obs::Stage::Decode);
+        zDecoder_.decodeWindowBatch(winPtrs_.data(), count, *ws_);
+    }
     for (std::size_t l = 0; l < count; ++l)
         ws_->laneCorrections[l].applyTo(batchStates_[l], ErrorType::Z);
 
     if (xDecoder_) {
         for (std::size_t l = 0; l < count; ++l)
             winPtrs_[l] = &batchWinX_[l];
-        xDecoder_->decodeWindowBatch(winPtrs_.data(), count, *ws_);
+        {
+            obs::TraceSpan span(obs::Stage::Decode);
+            xDecoder_->decodeWindowBatch(winPtrs_.data(), count, *ws_);
+        }
         for (std::size_t l = 0; l < count; ++l)
             ws_->laneCorrections[l].applyTo(batchStates_[l],
                                             ErrorType::X);
     }
 
+    obs::TraceSpan classifySpan(obs::Stage::Classify);
     for (std::size_t l = 0; l < count; ++l) {
         classifyWindowTrial(batchStates_[l], acc);
         // Stop-rule hit mid-group: drop the remaining lanes, exactly
@@ -284,8 +306,14 @@ LifetimeSimulator::decodeLifetime(ErrorType type, Decoder &decoder,
                                   MonteCarloResult &acc)
 {
     Syndrome &syn = scratchSyndrome(type);
-    extractInto(state_, type, syn);
-    decoder.decode(syn, *ws_);
+    {
+        obs::TraceSpan span(obs::Stage::Extract);
+        extractInto(state_, type, syn);
+    }
+    {
+        obs::TraceSpan span(obs::Stage::Decode);
+        decoder.decode(syn, *ws_);
+    }
     ws_->correction.applyTo(state_, type);
     recordMeshStats(decoder.meshStats(), acc);
 }
@@ -295,11 +323,18 @@ LifetimeSimulator::decodeFamily(ErrorType type, Decoder &decoder,
                                 ErrorState &state, MonteCarloResult &acc)
 {
     Syndrome &syn = scratchSyndrome(type);
-    extractInto(state, type, syn);
-    decoder.decode(syn, *ws_);
+    {
+        obs::TraceSpan span(obs::Stage::Extract);
+        extractInto(state, type, syn);
+    }
+    {
+        obs::TraceSpan span(obs::Stage::Decode);
+        decoder.decode(syn, *ws_);
+    }
     ws_->correction.applyTo(state, type);
     recordMeshStats(decoder.meshStats(), acc);
 
+    obs::TraceSpan span(obs::Stage::Classify);
     const FailureReport report = classifyResidual(state, type);
     if (report.syndromeNonzero)
         ++acc.syndromeResidualFailures;
@@ -317,7 +352,10 @@ LifetimeSimulator::runRound(MonteCarloResult &acc)
             "decode window (setMeasurementWindow)");
     if (!lifetimeMode_)
         state_.clear();
-    model_.sample(rng_, state_);
+    {
+        obs::TraceSpan span(obs::Stage::Sample);
+        model_.sample(rng_, state_);
+    }
 
     bool failed = false;
     if (lifetimeMode_) {
@@ -366,18 +404,28 @@ LifetimeSimulator::runBatch(std::size_t count, MonteCarloResult &acc,
     synPtrs_.resize(count);
 
     // Sample every round of the group up front — the exact RNG draw
-    // sequence of `count` scalar rounds.
-    for (std::size_t l = 0; l < count; ++l) {
-        batchStates_[l].clear();
-        model_.sample(rng_, batchStates_[l]);
+    // sequence of `count` scalar rounds. Batched paths take one
+    // coarse span per phase rather than one per lane.
+    {
+        obs::TraceSpan span(obs::Stage::Sample);
+        for (std::size_t l = 0; l < count; ++l) {
+            batchStates_[l].clear();
+            model_.sample(rng_, batchStates_[l]);
+        }
     }
 
     // Z family: extract all, decode the lane group, apply.
-    for (std::size_t l = 0; l < count; ++l) {
-        extractInto(batchStates_[l], ErrorType::Z, batchSynZ_[l]);
-        synPtrs_[l] = &batchSynZ_[l];
+    {
+        obs::TraceSpan span(obs::Stage::Extract);
+        for (std::size_t l = 0; l < count; ++l) {
+            extractInto(batchStates_[l], ErrorType::Z, batchSynZ_[l]);
+            synPtrs_[l] = &batchSynZ_[l];
+        }
     }
-    zDecoder_.decodeBatch(synPtrs_.data(), count, *ws_);
+    {
+        obs::TraceSpan span(obs::Stage::Decode);
+        zDecoder_.decodeBatch(synPtrs_.data(), count, *ws_);
+    }
     for (std::size_t l = 0; l < count; ++l)
         ws_->laneCorrections[l].applyTo(batchStates_[l], ErrorType::Z);
 
@@ -385,11 +433,18 @@ LifetimeSimulator::runBatch(std::size_t count, MonteCarloResult &acc,
     // planes, so classifying Z afterwards sees the same residual the
     // scalar loop classifies between the two decodes.
     if (xDecoder_) {
-        for (std::size_t l = 0; l < count; ++l) {
-            extractInto(batchStates_[l], ErrorType::X, batchSynX_[l]);
-            synPtrs_[l] = &batchSynX_[l];
+        {
+            obs::TraceSpan span(obs::Stage::Extract);
+            for (std::size_t l = 0; l < count; ++l) {
+                extractInto(batchStates_[l], ErrorType::X,
+                            batchSynX_[l]);
+                synPtrs_[l] = &batchSynX_[l];
+            }
         }
-        xDecoder_->decodeBatch(synPtrs_.data(), count, *ws_);
+        {
+            obs::TraceSpan span(obs::Stage::Decode);
+            xDecoder_->decodeBatch(synPtrs_.data(), count, *ws_);
+        }
         for (std::size_t l = 0; l < count; ++l)
             ws_->laneCorrections[l].applyTo(batchStates_[l],
                                             ErrorType::X);
@@ -399,6 +454,7 @@ LifetimeSimulator::runBatch(std::size_t count, MonteCarloResult &acc,
     // updates interleave exactly as the scalar loop's (decoders retain
     // per-lane stats, so Z and X stats of round l are recorded
     // back-to-back even though the decodes ran family-batched).
+    obs::TraceSpan classifySpan(obs::Stage::Classify);
     for (std::size_t l = 0; l < count; ++l) {
         recordMeshStats(zDecoder_.meshStats(l), acc);
         const FailureReport z_report =

@@ -18,6 +18,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "decoders/decoder.hh"
+#include "obs/metrics.hh"
 #include "surface/error_model.hh"
 #include "surface/logical.hh"
 #include "surface/stabilizer_circuit.hh"
@@ -69,6 +70,16 @@ struct MonteCarloResult
     RunningStats cycles;
     /** Distribution of cycles (Fig. 10(c)); sized in the simulator. */
     Histogram cycleHistogram{0};
+
+    /**
+     * Deterministic work counters attached to this run (filled by the
+     * engine's shard runner: engine.* trial counts plus the decoders'
+     * exported decoder.* counters). Riding inside the result means
+     * metrics inherit the engine's ordered prefix merge — shards past
+     * the stop point are discarded together with their counters, so
+     * aggregates are byte-identical at any thread count.
+     */
+    obs::MetricSet metrics;
 
     /**
      * Fold another accumulator into this one (parallel shard

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "decoders/workspace.hh"
 #include "noise/noise_model.hh"
+#include "obs/trace.hh"
 #include "stream/stream_queue.hh"
 #include "stream/syndrome_stream.hh"
 #include "surface/logical.hh"
@@ -117,14 +118,26 @@ runStream(const StreamConfig &config, Decoder &decoder,
         // Produce and decode round k. The decode result is computed
         // round-synchronously (closed-loop lifetime physics); only its
         // cost is replayed against the virtual clock below.
-        const Syndrome &syndrome = stream.emit();
+        const Syndrome *produced;
+        {
+            obs::TraceSpan produceSpan(obs::Stage::StreamProduce);
+            produced = &stream.emit();
+        }
+        const Syndrome &syndrome = *produced;
         double serviceNs = 0.0;
         if (w == 0) {
-            decoder.decode(syndrome, *workspace);
-            workspace->correction.applyTo(stream.state(),
-                                          ErrorType::Z);
-            const bool nowParity =
-                crossingParity(stream.state(), ErrorType::Z);
+            {
+                obs::TraceSpan decodeSpan(obs::Stage::StreamDecode);
+                decoder.decode(syndrome, *workspace);
+            }
+            bool nowParity;
+            {
+                obs::TraceSpan commitSpan(obs::Stage::StreamCommit);
+                workspace->correction.applyTo(stream.state(),
+                                              ErrorType::Z);
+                nowParity =
+                    crossingParity(stream.state(), ErrorType::Z);
+            }
             if (nowParity != parity)
                 ++result.failures;
             parity = nowParity;
@@ -140,12 +153,21 @@ runStream(const StreamConfig &config, Decoder &decoder,
                 // decode it as one spacetime problem, commit.
                 stream.extractPerfectInto(*commitSyn);
                 window->recordRound(static_cast<int>(w), *commitSyn);
-                decoder.decodeWindow(*window, *workspace);
-                workspace->correction.applyTo(stream.state(),
-                                              ErrorType::Z);
-                ++result.windows;
-                const bool nowParity =
-                    crossingParity(stream.state(), ErrorType::Z);
+                {
+                    obs::TraceSpan decodeSpan(
+                        obs::Stage::StreamDecode);
+                    decoder.decodeWindow(*window, *workspace);
+                }
+                bool nowParity;
+                {
+                    obs::TraceSpan commitSpan(
+                        obs::Stage::StreamCommit);
+                    workspace->correction.applyTo(stream.state(),
+                                                  ErrorType::Z);
+                    ++result.windows;
+                    nowParity =
+                        crossingParity(stream.state(), ErrorType::Z);
+                }
                 if (nowParity != parity)
                     ++result.failures;
                 parity = nowParity;
@@ -201,6 +223,22 @@ runStream(const StreamConfig &config, Decoder &decoder,
     result.servicePercentiles.p99 =
         percentileFromHistogram(serviceHist, 0.99);
     result.servicePercentiles.max = result.serviceNs.max();
+
+    // Deterministic stream.* counters: everything below is a function
+    // of (config, seed) alone, so scenario-level metric folds stay
+    // thread-count-invariant. The decoder is owned by this run's cell,
+    // so its exported work counters are exactly this run's work.
+    result.metrics.add("stream.rounds", result.rounds);
+    result.metrics.add("stream.windows", result.windows);
+    result.metrics.add("stream.failures", result.failures);
+    result.metrics.add("stream.queue.spills", result.overflowRounds);
+    result.metrics.add("stream.backlog.final_rounds",
+                       result.finalBacklogRounds);
+    result.metrics.maxGauge("stream.queue.max_fast_depth",
+                            result.maxQueueDepth);
+    result.metrics.maxGauge("stream.backlog.max_rounds",
+                            result.maxBacklogRounds);
+    decoder.exportMetrics(result.metrics);
     return result;
 }
 

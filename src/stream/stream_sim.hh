@@ -21,6 +21,7 @@
 
 #include "common/stats.hh"
 #include "decoders/decoder.hh"
+#include "obs/metrics.hh"
 #include "stream/latency_model.hh"
 #include "stream/telemetry.hh"
 #include "surface/lattice.hh"
@@ -89,6 +90,15 @@ struct StreamingResult
     double fEmpirical = 0.0;
 
     std::vector<BacklogSample> trajectory;
+
+    /**
+     * Deterministic stream.* counters (rounds, windows, failures,
+     * queue spills, backlog peaks) plus the decoder's exported
+     * decoder.* work counters — everything here is a function of
+     * (config, seed) only, so scenario-folded metric aggregates stay
+     * thread-count-invariant.
+     */
+    obs::MetricSet metrics;
 };
 
 /**

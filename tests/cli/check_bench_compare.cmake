@@ -1,0 +1,90 @@
+# Counter-drift contract of bench_compare's run-report mode, driven by
+# CTest:
+#   cmake -DBENCH_COMPARE=<binary> -P check_bench_compare.cmake
+# Identical deterministic sections pass; a changed, missing or added
+# counter must hard-fail with a message naming the drift; mixing a run
+# report with a hotpath artifact is an input error.
+
+if(NOT BENCH_COMPARE)
+  message(FATAL_ERROR "pass -DBENCH_COMPARE=<path to bench_compare>")
+endif()
+
+set(failures 0)
+set(workdir ${CMAKE_CURRENT_BINARY_DIR}/bench_compare_counters)
+file(MAKE_DIRECTORY ${workdir})
+
+set(baseline_json "{\"schema\":\"nisqpp.run-report\",\"version\":1,\
+\"scenario\":\"fig10_final\",\"config\":{\"threads\":1},\
+\"counters\":{\"engine.trials\":12800,\"engine.failures\":37},\
+\"histograms\":{\"decoder.uf.growth_rounds\":{\"count\":2,\"sum\":5,\
+\"overflow\":0,\"bins\":{\"2\":1,\"3\":1}}},\
+\"timing\":{\"timing.span.decode.count\":99}}")
+file(WRITE ${workdir}/baseline.json "${baseline_json}")
+
+# Identical counters with a different (masked) timing section: pass.
+string(REPLACE "\"timing.span.decode.count\":99"
+               "\"timing.span.decode.count\":123456"
+               identical_json "${baseline_json}")
+file(WRITE ${workdir}/identical.json "${identical_json}")
+
+# One counter value changed: drift.
+string(REPLACE "\"engine.trials\":12800" "\"engine.trials\":12801"
+               drift_json "${baseline_json}")
+file(WRITE ${workdir}/drift.json "${drift_json}")
+
+# One counter missing: drift.
+string(REPLACE ",\"engine.failures\":37" "" missing_json
+               "${baseline_json}")
+file(WRITE ${workdir}/missing.json "${missing_json}")
+
+# A histogram bin changed: drift.
+string(REPLACE "\"bins\":{\"2\":1,\"3\":1}" "\"bins\":{\"2\":2}"
+               hist_json "${baseline_json}")
+file(WRITE ${workdir}/hist.json "${hist_json}")
+
+# Not a run report at all: input error, not a silent pass.
+file(WRITE ${workdir}/hotpathish.json "{\"tables\":[]}")
+
+# check(<name> <expect_rc_zero?> <must_match_regex> current.json)
+function(check name expect_zero pattern current)
+  execute_process(COMMAND ${BENCH_COMPARE} ${workdir}/baseline.json
+                          ${workdir}/${current}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  set(ok TRUE)
+  if(expect_zero AND NOT rc EQUAL 0)
+    set(ok FALSE)
+    message(WARNING "${name}: expected exit 0, got ${rc}\n${err}")
+  endif()
+  if(NOT expect_zero AND rc EQUAL 0)
+    set(ok FALSE)
+    message(WARNING "${name}: expected non-zero exit, got 0\n${out}")
+  endif()
+  if(NOT "${out}${err}" MATCHES "${pattern}")
+    set(ok FALSE)
+    message(WARNING "${name}: output did not match '${pattern}':\n"
+                    "stdout: ${out}\nstderr: ${err}")
+  endif()
+  if(NOT ok)
+    math(EXPR failures "${failures} + 1")
+    set(failures ${failures} PARENT_SCOPE)
+  else()
+    message(STATUS "${name}: ok")
+  endif()
+endfunction()
+
+check(identical_reports TRUE "no drift" identical.json)
+check(self_compare TRUE "no drift" baseline.json)
+check(changed_counter FALSE "engine.trials drift: 12800 -> 12801"
+      drift.json)
+check(missing_counter FALSE "engine.failures missing" missing.json)
+check(changed_histogram FALSE "histograms.decoder.uf.growth_rounds"
+      hist.json)
+check(mixed_inputs FALSE "cannot compare a run report" hotpathish.json)
+
+file(REMOVE_RECURSE ${workdir})
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} bench_compare check(s) failed")
+endif()

@@ -76,6 +76,56 @@ check_cli(bad_batch_negative FALSE ERR
           "--batch: expected an integer"
           --scenario fig01_sqv --batch -4)
 
+# Observability sinks fail fast on unwritable paths: the run must not
+# start (and then silently lose its report) when the file can't open.
+check_cli(bad_metrics_out FALSE ERR
+          "cannot open --metrics-out"
+          fig01_sqv --metrics-out /nonexistent-dir/metrics.json)
+check_cli(bad_trace_out FALSE ERR
+          "cannot open --trace-out"
+          fig01_sqv --trace-out /nonexistent-dir/trace.json)
+check_cli(metrics_out_missing_value FALSE ERR
+          "--metrics-out: missing value"
+          fig01_sqv --metrics-out)
+
+# Happy path: the report lands on disk as a versioned JSON document
+# with the deterministic counters section, and the trace file is a
+# chrome://tracing document.
+set(metrics_file ${CMAKE_CURRENT_BINARY_DIR}/cli_metrics.json)
+set(trace_file ${CMAKE_CURRENT_BINARY_DIR}/cli_trace.json)
+file(REMOVE ${metrics_file} ${trace_file})
+check_cli(metrics_out_happy TRUE OUT "SQV"
+          fig01_sqv --metrics-out ${metrics_file}
+          --trace-out ${trace_file})
+if(EXISTS ${metrics_file})
+  file(READ ${metrics_file} metrics_text)
+  if(NOT metrics_text MATCHES "\"schema\":\"nisqpp.run-report\"" OR
+     NOT metrics_text MATCHES "\"counters\":")
+    math(EXPR failures "${failures} + 1")
+    message(WARNING "metrics_out_content: run report malformed:\n"
+                    "${metrics_text}")
+  else()
+    message(STATUS "metrics_out_content: ok")
+  endif()
+else()
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "metrics_out_content: no file at ${metrics_file}")
+endif()
+if(EXISTS ${trace_file})
+  file(READ ${trace_file} trace_text)
+  if(NOT trace_text MATCHES "^\\{\"traceEvents\":\\[")
+    math(EXPR failures "${failures} + 1")
+    message(WARNING "trace_out_content: trace malformed:\n"
+                    "${trace_text}")
+  else()
+    message(STATUS "trace_out_content: ok")
+  endif()
+else()
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "trace_out_content: no file at ${trace_file}")
+endif()
+file(REMOVE ${metrics_file} ${trace_file})
+
 # Happy paths stay intact. --list must print one-line descriptions
 # sourced from the registry (name  -  description), not bare names.
 check_cli(list_names TRUE OUT "streaming_backlog" --list)

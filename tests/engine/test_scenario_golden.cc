@@ -92,10 +92,18 @@ sanitize(const std::string &csv)
         std::vector<std::string> cells = splitCells(line);
         if (expectHeader) {
             expectHeader = false;
-            for (std::size_t c = 0; c < cells.size(); ++c)
+            for (std::size_t c = 0; c < cells.size(); ++c) {
                 for (const std::string &name : kMaskedColumns)
                     if (cells[c] == name)
                         masked.push_back(c);
+                // Whole masked metric namespaces: any column carrying
+                // a timing.* span summary or sched.* pool counter is
+                // host wall clock by definition and must never be
+                // golden-compared.
+                if (cells[c].rfind("timing.", 0) == 0 ||
+                    cells[c].rfind("sched.", 0) == 0)
+                    masked.push_back(c);
+            }
             os << line << '\n';
             continue;
         }
@@ -276,6 +284,59 @@ TEST(ScenarioGoldenRegistry, EveryScenarioHasGoldenEntry)
             << "' is registered but has no golden entry; run with "
                "NISQPP_UPDATE_GOLDEN=1 to create "
             << goldenPath(s.name);
+}
+
+TEST(ScenarioGoldenMasking, TimingNamespaceColumnsAreMasked)
+{
+    // A table that sneaks wall-clock metrics into its header must come
+    // out of sanitize() with those cells blanked — otherwise the first
+    // scenario to print a timing.* column would turn the golden net
+    // flaky.
+    const std::string csv =
+        "# leaky\n"
+        "decoder,timing.span.decode.total_ns,PL,sched.pool.steals\n"
+        "union_find,123456,0.5,7\n";
+    const std::string expected =
+        "# leaky\n"
+        "decoder,timing.span.decode.total_ns,PL,sched.pool.steals\n"
+        "union_find,-,0.5,-\n";
+    EXPECT_EQ(sanitize(csv), expected);
+}
+
+TEST(ScenarioGoldenMasking, GoldenFilesAreSanitizeFixedPoints)
+{
+    // Checked-in goldens are written from sanitized output, so every
+    // masked cell is already "-". A golden that sanitize() would still
+    // change carries an unmasked wall-clock field — committed by hand
+    // or through a masking gap — and must be regenerated.
+    for (const Scenario &s : scenarioRegistry()) {
+        std::ifstream in(goldenPath(s.name));
+        if (!in.good())
+            continue; // missing entries fail EveryScenarioHasGoldenEntry
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        EXPECT_EQ(sanitize(buffer.str()), buffer.str())
+            << "golden for '" << s.name
+            << "' contains unmasked host-timing cells";
+    }
+}
+
+TEST(ScenarioGoldenMasking, SanitizedOutputIsRunToRunStable)
+{
+    // Leak detector: run every scenario twice and require the
+    // sanitized outputs to match byte for byte. Any wall-clock or
+    // scheduling value printed outside the masked columns differs
+    // between the runs and fails here deterministically (instead of
+    // intermittently against the golden).
+    GoldenEnv env;
+    for (const Scenario &s : scenarioRegistry()) {
+        std::ostringstream first, second;
+        ASSERT_EQ(runScenario(s.name, goldenOptions(), first), 0);
+        ASSERT_EQ(runScenario(s.name, goldenOptions(), second), 0);
+        EXPECT_EQ(sanitize(first.str()), sanitize(second.str()))
+            << "scenario '" << s.name
+            << "' leaks host-dependent values past the column masks";
+    }
 }
 
 TEST(ScenarioGoldenRegistry, NoOrphanGoldenFiles)

@@ -56,6 +56,38 @@ TEST(ThreadPool, ReusableAcrossWaves)
     }
 }
 
+TEST(ThreadPool, CountsTasksAndNeverStealsOnOneThread)
+{
+    // A 1-thread pool has no victim to steal from: the steal counter
+    // must stay exactly zero while the task counter tracks every
+    // completed task (this backs the sched.pool.steals == 0 guarantee
+    // that --threads 1 run reports advertise).
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.taskCount(), 0u);
+    EXPECT_EQ(pool.stealCount(), 0u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(pool.taskCount(), 200u);
+    EXPECT_EQ(pool.stealCount(), 0u);
+}
+
+TEST(ThreadPool, TaskCountAccumulatesAcrossWaves)
+{
+    ThreadPool pool(4);
+    for (int wave = 1; wave <= 3; ++wave) {
+        for (int i = 0; i < 40; ++i)
+            pool.submit([] {});
+        pool.wait();
+        EXPECT_EQ(pool.taskCount(),
+                  static_cast<std::uint64_t>(40 * wave));
+    }
+    // Steals are scheduling-dependent at 4 threads, but they are
+    // bounded by the executed-task count.
+    EXPECT_LE(pool.stealCount(), pool.taskCount());
+}
+
 TEST(ThreadPool, UnevenTasksAllFinish)
 {
     // A few long tasks mixed with many short ones: idle workers must

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * MetricSet contract: counter/gauge/histogram semantics, the masked
+ * namespace split, order-invariant merges (the property the engine's
+ * thread-count determinism rests on) and the JSON renderings the run
+ * report embeds.
+ */
+
+#include "obs/metrics.hh"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace nisqpp::obs {
+namespace {
+
+TEST(MaskedName, TimingAndSchedNamespacesAreMasked)
+{
+    EXPECT_TRUE(maskedName("timing.span.decode.count"));
+    EXPECT_TRUE(maskedName("sched.pool.steals"));
+    EXPECT_FALSE(maskedName("engine.trials"));
+    EXPECT_FALSE(maskedName("decoder.uf.growth_rounds"));
+    EXPECT_FALSE(maskedName("stream.queue.spills"));
+    // Only the namespace prefix masks, not a substring elsewhere.
+    EXPECT_FALSE(maskedName("engine.timing.whatever"));
+    EXPECT_FALSE(maskedName("timings.close_but_not"));
+}
+
+TEST(MetricSet, CountersAccumulate)
+{
+    MetricSet m;
+    EXPECT_EQ(m.value("engine.trials"), 0u);
+    m.add("engine.trials");
+    m.add("engine.trials", 41);
+    EXPECT_EQ(m.value("engine.trials"), 42u);
+    EXPECT_FALSE(m.empty());
+}
+
+TEST(MetricSet, GaugesKeepTheMaximum)
+{
+    MetricSet m;
+    m.maxGauge("stream.queue.max_fast_depth", 7);
+    m.maxGauge("stream.queue.max_fast_depth", 3);
+    EXPECT_EQ(m.value("stream.queue.max_fast_depth"), 7u);
+    m.maxGauge("stream.queue.max_fast_depth", 19);
+    EXPECT_EQ(m.value("stream.queue.max_fast_depth"), 19u);
+}
+
+TEST(MetricSet, HistogramRecordAndBulkMerge)
+{
+    MetricSet m;
+    m.record("decoder.uf.growth_rounds", 2, 63);
+    m.record("decoder.uf.growth_rounds", 2, 63);
+    m.record("decoder.uf.growth_rounds", 5, 63);
+    const MetricSet::HistogramEntry *entry =
+        m.histogram("decoder.uf.growth_rounds");
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->hist.total(), 3u);
+    EXPECT_EQ(entry->hist.bin(2), 2u);
+    EXPECT_EQ(entry->sum, 9u);
+
+    Histogram bulk(63);
+    bulk.add(5);
+    MetricSet other;
+    other.mergeHistogram("decoder.uf.growth_rounds", bulk, 5);
+    m.merge(other);
+    entry = m.histogram("decoder.uf.growth_rounds");
+    EXPECT_EQ(entry->hist.bin(5), 2u);
+    EXPECT_EQ(entry->sum, 14u);
+}
+
+TEST(MetricSet, MergeIsOrderInvariant)
+{
+    // Three shard-like sets folded in two different orders must agree
+    // byte for byte: counters add, gauges max, histograms add bin-wise
+    // (all commutative + associative).
+    auto shard = [](std::uint64_t trials, std::uint64_t depth,
+                    std::size_t rounds) {
+        MetricSet m;
+        m.add("engine.trials", trials);
+        m.maxGauge("stream.backlog.max_rounds", depth);
+        m.record("decoder.uf.growth_rounds", rounds, 63);
+        return m;
+    };
+    MetricSet forward;
+    forward.merge(shard(10, 3, 1));
+    forward.merge(shard(20, 9, 4));
+    forward.merge(shard(30, 6, 2));
+    MetricSet backward;
+    backward.merge(shard(30, 6, 2));
+    backward.merge(shard(20, 9, 4));
+    backward.merge(shard(10, 3, 1));
+
+    std::ostringstream a, b;
+    forward.writeScalarsJson(a, false);
+    forward.writeHistogramsJson(a);
+    backward.writeScalarsJson(b, false);
+    backward.writeHistogramsJson(b);
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_EQ(forward.value("engine.trials"), 60u);
+    EXPECT_EQ(forward.value("stream.backlog.max_rounds"), 9u);
+}
+
+TEST(MetricSet, ScalarsJsonSplitsByMask)
+{
+    MetricSet m;
+    m.add("engine.trials", 5);
+    m.add("timing.span.decode.count", 7);
+    m.maxGauge("sched.pool.threads", 4);
+
+    std::ostringstream plain;
+    m.writeScalarsJson(plain, false);
+    EXPECT_EQ(plain.str(), "{\"engine.trials\":5}");
+
+    std::ostringstream masked;
+    m.writeScalarsJson(masked, true);
+    EXPECT_EQ(masked.str(), "{\"sched.pool.threads\":4,"
+                            "\"timing.span.decode.count\":7}");
+}
+
+TEST(MetricSet, HistogramsJsonIsSparse)
+{
+    MetricSet m;
+    m.record("decoder.uf.growth_rounds", 1, 7);
+    m.record("decoder.uf.growth_rounds", 1, 7);
+    m.record("decoder.uf.growth_rounds", 100, 7); // overflow bin
+    std::ostringstream os;
+    m.writeHistogramsJson(os);
+    EXPECT_EQ(os.str(),
+              "{\"decoder.uf.growth_rounds\":{\"count\":3,\"sum\":102,"
+              "\"overflow\":1,\"bins\":{\"1\":2}}}");
+}
+
+} // namespace
+} // namespace nisqpp::obs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * percentileFromHistogram edge cases: the streaming latency
+ * percentiles must behave sanely on empty histograms, degenerate
+ * single-bin distributions, and mass that sits entirely past the
+ * tracked range (overflow bin).
+ */
+
+#include "stream/telemetry.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace nisqpp {
+namespace {
+
+TEST(PercentileFromHistogram, EmptyHistogramReturnsZero)
+{
+    Histogram hist(15);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.0), 0.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.5), 0.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 1.0), 0.0);
+}
+
+TEST(PercentileFromHistogram, SingleBinMassAnswersThatBin)
+{
+    Histogram hist(15);
+    for (int i = 0; i < 100; ++i)
+        hist.add(7);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.01), 7.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.50), 7.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.99), 7.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 1.00), 7.0);
+}
+
+TEST(PercentileFromHistogram, OverflowMassSaturatesToBinCount)
+{
+    // Every observation past the tracked range: the walk never reaches
+    // the target inside the bins, so the percentile saturates to
+    // numBins() — a sentinel one past the largest exact value.
+    Histogram hist(15);
+    hist.add(1000);
+    hist.add(2000);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.5),
+              static_cast<double>(hist.numBins()));
+    EXPECT_EQ(percentileFromHistogram(hist, 1.0),
+              static_cast<double>(hist.numBins()));
+    // q = 0 is satisfied by the very first (empty) bin.
+    EXPECT_EQ(percentileFromHistogram(hist, 0.0), 0.0);
+}
+
+TEST(PercentileFromHistogram, MixedMassWalksTheCdf)
+{
+    Histogram hist(15);
+    for (int i = 0; i < 90; ++i)
+        hist.add(2);
+    for (int i = 0; i < 9; ++i)
+        hist.add(5);
+    hist.add(999); // one overflow observation
+    EXPECT_EQ(percentileFromHistogram(hist, 0.50), 2.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.95), 5.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 0.99), 5.0);
+    EXPECT_EQ(percentileFromHistogram(hist, 1.00),
+              static_cast<double>(hist.numBins()));
+}
+
+} // namespace
+} // namespace nisqpp

@@ -17,6 +17,13 @@
  * the same cells). Throughput columns are reported as speedup ratios,
  * never compared: they are host-dependent by nature.
  *
+ * When both inputs are nisqpp.run-report documents (--metrics-out
+ * output), the deterministic sections are diffed instead: every
+ * "counters" entry and "histograms" entry must match byte for byte in
+ * both directions (a missing, added or changed counter is drift). The
+ * masked "timing" section is host-dependent and never compared.
+ * Mixing a run report with a hotpath artifact is an input error.
+ *
  * Exit code 0 = no drift; 1 = drift or malformed input.
  */
 
@@ -44,6 +51,11 @@ struct JsonValue
     std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
                  JsonObject>
         value;
+    /**
+     * Source text of a number token: counter diffs compare this, so
+     * 64-bit counts never round-trip through double precision.
+     */
+    std::string raw{};
 
     const JsonValue *
     field(const std::string &key) const
@@ -140,7 +152,8 @@ class JsonParser
             ++pos_;
         if (pos_ == start)
             fail("expected a number");
-        return JsonValue{std::stod(text_.substr(start, pos_ - start))};
+        const std::string raw = text_.substr(start, pos_ - start);
+        return JsonValue{std::stod(raw), raw};
     }
 
     std::string
@@ -230,17 +243,23 @@ struct HotpathRow
 
 using RowKey = std::pair<std::string, std::string>;
 
-/** Extract the "hotpath" table of one artifact into keyed rows. */
-std::map<RowKey, HotpathRow>
-loadHotpath(const std::string &path)
+/** Read and parse one JSON artifact. */
+JsonValue
+parseFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in.good())
         throw std::runtime_error("cannot read " + path);
     std::stringstream buffer;
     buffer << in.rdbuf();
-    const JsonValue doc = JsonParser(buffer.str()).parse();
+    const std::string text = buffer.str();
+    return JsonParser(text).parse();
+}
 
+/** Extract the "hotpath" table of one artifact into keyed rows. */
+std::map<RowKey, HotpathRow>
+loadHotpath(const std::string &path, const JsonValue &doc)
+{
     const JsonValue *tables = doc.field("tables");
     const auto *list =
         tables ? std::get_if<JsonArray>(&tables->value) : nullptr;
@@ -334,6 +353,116 @@ checkInternalBatchParity(const std::map<RowKey, HotpathRow> &rows,
     return drift;
 }
 
+/** True when @p doc is a --metrics-out run report. */
+bool
+isRunReport(const JsonValue &doc)
+{
+    const JsonValue *schema = doc.field("schema");
+    const auto *text =
+        schema ? std::get_if<std::string>(&schema->value) : nullptr;
+    return text && *text == "nisqpp.run-report";
+}
+
+/** Structural equality; numbers compare by source text (exact). */
+bool
+jsonEqual(const JsonValue &a, const JsonValue &b)
+{
+    if (a.value.index() != b.value.index())
+        return false;
+    if (std::holds_alternative<double>(a.value))
+        return a.raw == b.raw;
+    if (const auto *arr = std::get_if<JsonArray>(&a.value)) {
+        const auto &other = std::get<JsonArray>(b.value);
+        if (arr->size() != other.size())
+            return false;
+        for (std::size_t i = 0; i < arr->size(); ++i)
+            if (!jsonEqual(*(*arr)[i], *other[i]))
+                return false;
+        return true;
+    }
+    if (const auto *obj = std::get_if<JsonObject>(&a.value)) {
+        const auto &other = std::get<JsonObject>(b.value);
+        if (obj->size() != other.size())
+            return false;
+        for (std::size_t i = 0; i < obj->size(); ++i)
+            if ((*obj)[i].first != other[i].first ||
+                !jsonEqual(*(*obj)[i].second, *other[i].second))
+                return false;
+        return true;
+    }
+    return a.value == b.value;
+}
+
+/** Short rendering of a leaf value for drift messages. */
+std::string
+jsonText(const JsonValue &v)
+{
+    if (!v.raw.empty())
+        return v.raw;
+    if (const auto *s = std::get_if<std::string>(&v.value))
+        return *s;
+    if (const auto *b = std::get_if<bool>(&v.value))
+        return *b ? "true" : "false";
+    return "<non-scalar>";
+}
+
+/**
+ * Exact two-way diff of one deterministic section ("counters" or
+ * "histograms") of two run reports. Every key must exist in both
+ * documents with a byte-identical value; each violation is one drift.
+ */
+int
+diffSection(const JsonValue &baseline, const JsonValue &current,
+            const std::string &section)
+{
+    const JsonValue *baseVal = baseline.field(section);
+    const JsonValue *curVal = current.field(section);
+    const auto *base =
+        baseVal ? std::get_if<JsonObject>(&baseVal->value) : nullptr;
+    const auto *cur =
+        curVal ? std::get_if<JsonObject>(&curVal->value) : nullptr;
+    if (!base || !cur)
+        throw std::runtime_error("run report lacks a '" + section +
+                                 "' object");
+    int drift = 0;
+    for (const auto &[key, value] : *base) {
+        const JsonValue *other = curVal->field(key);
+        if (!other) {
+            std::cerr << "FAIL: " << section << "." << key
+                      << " missing from current report (counter "
+                         "drift)\n";
+            ++drift;
+        } else if (!jsonEqual(*value, *other)) {
+            std::cerr << "FAIL: " << section << "." << key
+                      << " drift: " << jsonText(*value) << " -> "
+                      << jsonText(*other) << "\n";
+            ++drift;
+        }
+    }
+    for (const auto &[key, value] : *cur)
+        if (!baseVal->field(key)) {
+            std::cerr << "FAIL: " << section << "." << key
+                      << " only in current report (counter drift)\n";
+            ++drift;
+        }
+    return drift;
+}
+
+/** Compare the deterministic sections of two run reports. */
+int
+compareRunReports(const JsonValue &baseline, const JsonValue &current)
+{
+    int drift = diffSection(baseline, current, "counters");
+    drift += diffSection(baseline, current, "histograms");
+    if (drift) {
+        std::cerr << drift << " drifting deterministic metric(s); "
+                             "counters must match byte for byte.\n";
+        return 1;
+    }
+    std::puts("deterministic counters identical; no drift.");
+    return 0;
+}
+
 } // namespace
 
 int
@@ -346,8 +475,21 @@ main(int argc, char **argv)
     try {
         const std::string baselinePath = argv[1];
         const std::string currentPath = argv[2];
-        const auto baseline = loadHotpath(baselinePath);
-        const auto current = loadHotpath(currentPath);
+        const JsonValue baselineDoc = parseFile(baselinePath);
+        const JsonValue currentDoc = parseFile(currentPath);
+
+        const bool baseReport = isRunReport(baselineDoc);
+        const bool curReport = isRunReport(currentDoc);
+        if (baseReport != curReport)
+            throw std::runtime_error(
+                "cannot compare a run report against a hotpath "
+                "artifact (one input has schema nisqpp.run-report, "
+                "the other does not)");
+        if (baseReport)
+            return compareRunReports(baselineDoc, currentDoc);
+
+        const auto baseline = loadHotpath(baselinePath, baselineDoc);
+        const auto current = loadHotpath(currentPath, currentDoc);
 
         int drift = 0;
         drift += checkInternalBatchParity(baseline, baselinePath);

@@ -42,6 +42,18 @@ RunningStats::merge(const RunningStats &other)
     n_ += other.n_;
 }
 
+RunningStats
+RunningStats::fromRaw(const RunningStatsRaw &raw)
+{
+    RunningStats s;
+    s.n_ = raw.n;
+    s.mean_ = raw.mean;
+    s.m2_ = raw.m2;
+    s.min_ = raw.min;
+    s.max_ = raw.max;
+    return s;
+}
+
 double
 RunningStats::variance() const
 {
@@ -87,6 +99,19 @@ Histogram::merge(const Histogram &other)
         bins_[i] += other.bins_[i];
     overflow_ += other.overflow_;
     total_ += other.total_;
+}
+
+Histogram
+Histogram::fromParts(std::vector<std::size_t> bins, std::size_t overflow)
+{
+    require(!bins.empty(), "Histogram::fromParts: empty bin vector");
+    Histogram h(bins.size() - 1);
+    h.bins_ = std::move(bins);
+    h.overflow_ = overflow;
+    h.total_ = overflow;
+    for (std::size_t c : h.bins_)
+        h.total_ += c;
+    return h;
 }
 
 double

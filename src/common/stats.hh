@@ -13,6 +13,22 @@
 namespace nisqpp {
 
 /**
+ * The raw internal state of a RunningStats accumulator, exposed for
+ * bit-exact serialization (checkpoint/resume). A restored accumulator
+ * must continue the exact Welford sequence of the original, so the
+ * doubles here are round-tripped as IEEE-754 bit patterns, never as
+ * decimal text.
+ */
+struct RunningStatsRaw
+{
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/**
  * Welford-style running mean/variance with min/max tracking. Numerically
  * stable for the long accumulations produced by lifetime simulation.
  */
@@ -24,6 +40,12 @@ class RunningStats
 
     /** Merge another accumulator into this one (parallel reduction). */
     void merge(const RunningStats &other);
+
+    /** Snapshot the internal state for bit-exact serialization. */
+    RunningStatsRaw raw() const { return {n_, mean_, m2_, min_, max_}; }
+
+    /** Rebuild an accumulator from a raw() snapshot. */
+    static RunningStats fromRaw(const RunningStatsRaw &raw);
 
     std::size_t count() const { return n_; }
     double mean() const { return n_ ? mean_ : 0.0; }
@@ -64,6 +86,14 @@ class Histogram
      * default-constructed results can absorb sized shard results.
      */
     void merge(const Histogram &other);
+
+    /**
+     * Rebuild a histogram from serialized parts (checkpoint restore):
+     * @p bins must be non-empty (a histogram always has at least the
+     * zero bin); the total is recomputed as sum(bins) + overflow.
+     */
+    static Histogram fromParts(std::vector<std::size_t> bins,
+                               std::size_t overflow);
 
     std::size_t total() const { return total_; }
     std::size_t bin(std::size_t i) const { return bins_.at(i); }

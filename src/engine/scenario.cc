@@ -30,8 +30,21 @@ ScenarioContext::engine()
         engineOptions.shardTrials = options_.shardTrials;
         engineOptions.batchLanes = options_.batchLanes;
         engine_ = std::make_unique<Engine>(engineOptions);
+        if (ckptPolicy_.enabled())
+            engine_->setCheckpointPolicy(ckptPolicy_);
+        if (ckptLedger_)
+            engine_->resumeFrom(std::move(*ckptLedger_));
     }
     return *engine_;
+}
+
+void
+ScenarioContext::setCheckpoint(
+    const ckpt::CheckpointPolicy &policy,
+    std::unique_ptr<ckpt::CheckpointLedger> ledger)
+{
+    ckptPolicy_ = policy;
+    ckptLedger_ = std::move(ledger);
 }
 
 std::uint64_t
@@ -89,6 +102,7 @@ ScenarioContext::collectMetrics() const
     if (engine_) {
         out.merge(engine_->metrics());
         engine_->runtimeMetricsInto(out);
+        engine_->checkpointMetricsInto(out);
     }
     obs::stageTimingInto(out);
     return out;
@@ -195,6 +209,38 @@ runScenario(const std::string &name, const RunOptions &options,
         }
     }
 
+    // Resume first: a bad or mismatched checkpoint must fail before
+    // any simulation work starts.
+    std::unique_ptr<ckpt::CheckpointLedger> ledger;
+    if (!options.resumePath.empty()) {
+        try {
+            ledger = std::make_unique<ckpt::CheckpointLedger>(
+                ckpt::loadCheckpoint(options.resumePath));
+        } catch (const ckpt::CheckpointError &err) {
+            std::cerr << "cannot resume: " << err.what() << "\n";
+            return 1;
+        }
+        if (ledger->scope != name) {
+            std::cerr << "cannot resume: checkpoint '"
+                      << options.resumePath
+                      << "' was written by scenario '" << ledger->scope
+                      << "', not '" << name << "'\n";
+            return 1;
+        }
+    }
+    ckpt::CheckpointPolicy policy;
+    if (!options.checkpointPath.empty() ||
+        !options.resumePath.empty()) {
+        policy.path = !options.checkpointPath.empty()
+                          ? options.checkpointPath
+                          : options.resumePath;
+        policy.intervalShards = options.checkpointInterval;
+        policy.scope = name;
+        // SIGINT/SIGTERM now drain, persist a final checkpoint and
+        // exit with kExitInterrupted instead of dropping the run.
+        ckpt::installSignalHandlers();
+    }
+
     const bool wantTiming =
         !options.metricsOut.empty() || !options.traceOut.empty();
     if (wantTiming) {
@@ -204,13 +250,28 @@ runScenario(const std::string &name, const RunOptions &options,
     }
 
     ScenarioContext ctx(options, os);
-    scenario->run(ctx);
-    ctx.finish();
+    if (policy.enabled() || ledger)
+        ctx.setCheckpoint(policy, std::move(ledger));
+    int rc = 0;
+    try {
+        scenario->run(ctx);
+        ctx.finish();
+    } catch (const ckpt::InterruptedError &err) {
+        std::cerr << "\ninterrupted: checkpoint written to '"
+                  << err.path() << "'; resume with --resume '"
+                  << err.path() << "'\n";
+        rc = ckpt::kExitInterrupted;
+    } catch (const ckpt::CheckpointError &err) {
+        std::cerr << err.what() << "\n";
+        rc = 1;
+    }
 
     if (wantTiming) {
         obs::setTimingCollection(false);
         obs::setTraceCapture(false);
-        if (metricsFile.is_open()) {
+        // Reports describe a completed run only; an interrupted or
+        // failed run must not overwrite them with partial data.
+        if (rc == 0 && metricsFile.is_open()) {
             obs::RunReportConfig cfg;
             cfg.scenario = name;
             cfg.threads = options.threads;
@@ -219,13 +280,22 @@ runScenario(const std::string &name, const RunOptions &options,
             cfg.seed = options.seed;
             cfg.seedSet = options.seedSet;
             cfg.batchLanes = options.batchLanes;
-            obs::writeRunReport(metricsFile, cfg,
-                                ctx.collectMetrics());
+            if (!obs::writeRunReport(metricsFile, cfg,
+                                     ctx.collectMetrics())) {
+                std::cerr << "write failed: --metrics-out '"
+                          << options.metricsOut << "'\n";
+                return 1;
+            }
         }
-        if (traceFile.is_open())
-            obs::writeChromeTrace(traceFile);
+        if (rc == 0 && traceFile.is_open()) {
+            if (!obs::writeChromeTrace(traceFile)) {
+                std::cerr << "write failed: --trace-out '"
+                          << options.traceOut << "'\n";
+                return 1;
+            }
+        }
     }
-    return 0;
+    return rc;
 }
 
 namespace {
@@ -238,7 +308,9 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
         os << " [--scenario] NAME";
     os << " [--threads N] [--shard-trials N] [--trials-scale X]"
           " [--seed S] [--batch N] [--format table|csv|json]"
-          " [--metrics-out FILE] [--trace-out FILE]";
+          " [--metrics-out FILE] [--trace-out FILE]"
+          " [--checkpoint FILE] [--checkpoint-interval N]"
+          " [--resume FILE]";
     if (withScenario)
         os << " [--list]";
     os << " [--help]\n";
@@ -256,6 +328,17 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
     os << "NISQPP_BATCH (env) / --batch N group N rounds per decode"
           " batch (1 = scalar;\nlane-packed mesh decoding otherwise;"
           " aggregates are identical either way).\n";
+    os << "\n--checkpoint FILE periodically persists the sweep's shard"
+          " ledger (atomic\ntemp+fsync+rename writes; SIGINT/SIGTERM"
+          " write a final checkpoint and exit " +
+              std::to_string(ckpt::kExitInterrupted) +
+          ").\n--resume FILE restores a ledger and continues at each"
+          " cell's first incomplete\nshard — byte-identical to an"
+          " uninterrupted run at any --threads.\n"
+          "--checkpoint-interval N / NISQPP_CKPT_INTERVAL (env) set"
+          " shard completions\nbetween periodic writes (default " +
+              std::to_string(ckpt::kDefaultCheckpointInterval) +
+          ").\n";
 }
 
 /** Parse one numeric flag value or die with a usage error. */
@@ -282,6 +365,8 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
 {
     ParsedArgs parsed;
     parsed.options.batchLanes = batchLanesFromEnv(1);
+    parsed.options.checkpointInterval = ckpt::checkpointIntervalFromEnv(
+        ckpt::kDefaultCheckpointInterval);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
@@ -334,6 +419,28 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 fatal("--seed: expected an unsigned 64-bit integer, "
                       "got '" + std::string(text) + "'");
             parsed.options.seedSet = true;
+        } else if (arg == "--checkpoint") {
+            parsed.options.checkpointPath = value();
+            if (parsed.options.checkpointPath.empty())
+                fatal("--checkpoint: expected a file path");
+        } else if (arg == "--resume") {
+            parsed.options.resumePath = value();
+            if (parsed.options.resumePath.empty())
+                fatal("--resume: expected a file path");
+        } else if (arg == "--checkpoint-interval") {
+            const double v = numericValue(arg, value());
+            // Same contract as the NISQPP_CKPT_INTERVAL env twin, but
+            // an explicit flag fails hard instead of warn-and-keep.
+            if (!(v >= 1) ||
+                v > static_cast<double>(ckpt::kMaxCheckpointInterval) ||
+                v != std::floor(v))
+                fatal("--checkpoint-interval: expected an integer in "
+                      "[1, " +
+                      std::to_string(ckpt::kMaxCheckpointInterval) +
+                      "]");
+            parsed.options.checkpointInterval =
+                static_cast<std::size_t>(v);
+            parsed.options.checkpointIntervalSet = true;
         } else if (arg == "--metrics-out") {
             parsed.options.metricsOut = value();
             if (parsed.options.metricsOut.empty())
@@ -360,6 +467,11 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
             fatal("unknown argument '" + arg + "' (try --help)");
         }
     }
+    if (parsed.options.checkpointIntervalSet &&
+        parsed.options.checkpointPath.empty() &&
+        parsed.options.resumePath.empty())
+        fatal("--checkpoint-interval requires --checkpoint or "
+              "--resume");
     return parsed;
 }
 

@@ -49,6 +49,15 @@ struct RunOptions
     std::string metricsOut;
     /** --trace-out FILE: write a chrome://tracing event dump. */
     std::string traceOut;
+    /** --checkpoint FILE: periodically persist the sweep ledger. */
+    std::string checkpointPath;
+    /** --resume FILE: restore a ledger (and keep checkpointing to it
+     *  unless --checkpoint names a different file). */
+    std::string resumePath;
+    /** --checkpoint-interval N / NISQPP_CKPT_INTERVAL: shard
+     *  completions between periodic writes. */
+    std::size_t checkpointInterval = ckpt::kDefaultCheckpointInterval;
+    bool checkpointIntervalSet = false; ///< flag given explicitly
 };
 
 /**
@@ -93,11 +102,21 @@ class ScenarioContext
     /**
      * Full run-report metric set: the scenario-local sink merged with
      * the engine's deterministic totals, plus the masked sched.* pool
-     * counters and timing.* span summaries (when collected). The
-     * non-masked section is a function of (scenario, options, seed)
-     * only — never of the thread count.
+     * counters, ckpt.* checkpoint bookkeeping, and timing.* span
+     * summaries (when collected). The non-masked section is a
+     * function of (scenario, options, seed) only — never of the
+     * thread count.
      */
     obs::MetricSet collectMetrics() const;
+
+    /**
+     * Arm checkpointing for the lazily-built engine: @p policy is
+     * installed (and @p ledger applied, when non-null) the moment
+     * engine() first constructs it. Called by runScenario before the
+     * scenario body runs.
+     */
+    void setCheckpoint(const ckpt::CheckpointPolicy &policy,
+                       std::unique_ptr<ckpt::CheckpointLedger> ledger);
 
   private:
     RunOptions options_;
@@ -105,6 +124,8 @@ class ScenarioContext
     std::unique_ptr<Engine> engine_; ///< lazily constructed
     obs::MetricSet metrics_;
     bool firstTable_ = true;
+    ckpt::CheckpointPolicy ckptPolicy_{};
+    std::unique_ptr<ckpt::CheckpointLedger> ckptLedger_;
 };
 
 /** One registered scenario. */

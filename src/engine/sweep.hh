@@ -26,11 +26,15 @@
 #ifndef NISQPP_ENGINE_SWEEP_HH
 #define NISQPP_ENGINE_SWEEP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hh"
 #include "noise/noise_model.hh"
 #include "sim/monte_carlo.hh"
 #include "sim/threshold.hh"
@@ -178,16 +182,86 @@ class Engine
      */
     void runtimeMetricsInto(obs::MetricSet &out) const;
 
+    /**
+     * Enable periodic checkpointing: every runSweep/runCell call
+     * becomes one ledger invocation, snapshotted to policy.path after
+     * every policy.intervalShards shard completions (or
+     * policy.intervalSeconds of wall time) and at each invocation
+     * boundary. Set before the first runSweep/runCell.
+     *
+     * With a policy installed, SIGINT/SIGTERM (or requestInterrupt())
+     * drains in-flight shards, writes a final checkpoint and throws
+     * ckpt::InterruptedError from the interrupted runSweep/runCell.
+     */
+    void setCheckpointPolicy(const ckpt::CheckpointPolicy &policy);
+
+    /**
+     * Resume from a loaded ledger: each subsequent runSweep/runCell
+     * validates its canonical config text against the matching
+     * restored invocation (a mismatch — different grid, rates, seed,
+     * shardTrials — is a hard ckpt::CheckpointError), restores every
+     * cell's merged ordered prefix bit-exactly, and restarts at each
+     * cell's first incomplete shard. Completed invocations are
+     * restored without recomputation. Because restored accumulators
+     * and shard seeds are exact, a resumed run is byte-identical to an
+     * uninterrupted one at any thread count. Call before the first
+     * runSweep/runCell; composes with setCheckpointPolicy.
+     */
+    void resumeFrom(ckpt::CheckpointLedger ledger);
+
+    /**
+     * Append checkpoint bookkeeping to @p out (all in the masked
+     * `ckpt.*` namespace — how often a run was interrupted is host
+     * history, not physics): ckpt.writes, ckpt.restored_cells,
+     * ckpt.restored_shards, a ckpt.resumed flag gauge, and
+     * ckpt.last_write_age_ms. No-op when checkpointing is off.
+     */
+    void checkpointMetricsInto(obs::MetricSet &out) const;
+
   private:
     struct CellRun; ///< in-flight ordered-merge state of one cell
 
-    void scheduleCell(const CellSpec &spec, CellRun &run);
+    void prepareCell(const CellSpec &spec, CellRun &run);
+    void schedulePumps(CellRun &run);
     void pumpCell(CellRun &run);
     MonteCarloResult collectCell(CellRun &run);
+
+    /**
+     * Run one prepared invocation (restore / schedule / drain /
+     * checkpoint); throws ckpt::InterruptedError after persisting a
+     * final checkpoint when an interrupt was requested.
+     */
+    void executeInvocation(std::vector<std::unique_ptr<CellRun>> &runs);
+    void applyRestoredCell(CellRun &run, const ckpt::CellLedger &cell,
+                           std::size_t invocation, std::size_t index);
+    std::string describeInvocation(
+        const std::vector<std::unique_ptr<CellRun>> &runs) const;
+    ckpt::CellLedger snapshotCell(CellRun &run);
+    ckpt::InvocationLedger snapshotActive(bool complete);
+    void writeLedgerLocked(const ckpt::InvocationLedger &active);
+    void maybeWriteCheckpoint();
 
     EngineOptions options_;
     std::unique_ptr<ThreadPool> pool_;
     obs::MetricSet totals_;
+
+    /** Checkpoint state (inert unless a policy/ledger is installed). @{ */
+    ckpt::CheckpointPolicy ckpt_{};
+    bool checkpointEnabled_ = false;
+    ckpt::CheckpointLedger restored_{};
+    bool hasRestored_ = false;
+    std::vector<ckpt::InvocationLedger> doneInvocations_;
+    std::size_t invocationIndex_ = 0;
+    std::vector<CellRun *> activeRuns_; ///< stable while pool is busy
+    std::string activeConfig_;
+    std::mutex ckptWriteMutex_;
+    std::atomic<std::size_t> ckptSinceWrite_{0};
+    std::atomic<std::int64_t> lastWriteNs_{0}; ///< steady-clock ns
+    std::atomic<std::uint64_t> ckptWrites_{0};
+    std::size_t restoredCells_ = 0;
+    std::size_t restoredShards_ = 0;
+    bool resumed_ = false;
+    /** @} */
 };
 
 } // namespace nisqpp

@@ -10,7 +10,8 @@ bool
 maskedName(const std::string &name)
 {
     return name.rfind("timing.", 0) == 0 ||
-           name.rfind("sched.", 0) == 0;
+           name.rfind("sched.", 0) == 0 ||
+           name.rfind("ckpt.", 0) == 0;
 }
 
 void
@@ -98,6 +99,24 @@ MetricSet::histogram(const std::string &name) const
 {
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
+}
+
+void
+MetricSet::forEachScalar(
+    const std::function<void(const std::string &, bool, std::uint64_t)>
+        &fn) const
+{
+    for (const auto &[name, scalar] : scalars_)
+        fn(name, scalar.kind == Kind::Gauge, scalar.value);
+}
+
+void
+MetricSet::forEachHistogram(
+    const std::function<void(const std::string &, const HistogramEntry &)>
+        &fn) const
+{
+    for (const auto &[name, entry] : histograms_)
+        fn(name, entry);
 }
 
 void

@@ -10,10 +10,11 @@
  * associative, so per-shard metric sets folded through the engine's
  * ordered prefix merge produce byte-identical aggregates at any
  * thread count. The only non-deterministic metrics are the ones in
- * the masked namespaces (`timing.*` wall-clock spans and `sched.*`
- * thread-pool/scheduler counters); maskedName() is the single
- * authority on that split, and run reports emit masked names in a
- * separate section that goldens and determinism checks ignore.
+ * the masked namespaces (`timing.*` wall-clock spans, `sched.*`
+ * thread-pool/scheduler counters, and `ckpt.*` checkpoint bookkeeping,
+ * which depends on when the run was interrupted); maskedName() is the
+ * single authority on that split, and run reports emit masked names in
+ * a separate section that goldens and determinism checks ignore.
  */
 
 #ifndef NISQPP_OBS_METRICS_HH
@@ -21,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -32,8 +34,10 @@ namespace nisqpp::obs {
 /**
  * True when @p name belongs to a namespace excluded from the
  * deterministic counter contract: `timing.*` (derived from the host
- * wall clock) and `sched.*` (thread-pool scheduling events such as
- * steals, which legitimately vary run to run at N > 1 threads).
+ * wall clock), `sched.*` (thread-pool scheduling events such as
+ * steals, which legitimately vary run to run at N > 1 threads), and
+ * `ckpt.*` (checkpoint bookkeeping, which depends on when and how
+ * often the run was interrupted).
  */
 bool maskedName(const std::string &name);
 
@@ -101,6 +105,19 @@ class MetricSet
      * metric name, each with count/sum/overflow and sparse bins.
      */
     void writeHistogramsJson(std::ostream &os) const;
+
+    /**
+     * Visit every counter and gauge in sorted-name order (the
+     * checkpoint serializer; masked names are the caller's problem).
+     */
+    void forEachScalar(
+        const std::function<void(const std::string &name, bool isGauge,
+                                 std::uint64_t value)> &fn) const;
+
+    /** Visit every histogram entry in sorted-name order. */
+    void forEachHistogram(
+        const std::function<void(const std::string &name,
+                                 const HistogramEntry &entry)> &fn) const;
 
   private:
     enum class Kind { Counter, Gauge };

@@ -20,7 +20,7 @@ doubleText(double v)
 
 } // namespace
 
-void
+bool
 writeRunReport(std::ostream &os, const RunReportConfig &config,
                const MetricSet &metrics)
 {
@@ -40,6 +40,11 @@ writeRunReport(std::ostream &os, const RunReportConfig &config,
     os << ",\"timing\":";
     metrics.writeScalarsJson(os, /*masked=*/true);
     os << "}\n";
+    // Flush and verify: a full disk or closed pipe surfaces here, not
+    // at open time, and a truncated JSON report must not pass for a
+    // successful run.
+    os.flush();
+    return static_cast<bool>(os);
 }
 
 } // namespace nisqpp::obs

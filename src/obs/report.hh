@@ -40,10 +40,14 @@ struct RunReportConfig
 /**
  * Write the full report. Deterministic scalars land in "counters",
  * deterministic histograms in "histograms", and masked (timing.* /
- * sched.*) scalars in "timing".
+ * sched.* / ckpt.*) scalars in "timing". Returns false when the
+ * stream is bad after the final write + flush (ENOSPC, closed pipe):
+ * callers must treat that as a failed — possibly truncated — report,
+ * not silently accept it.
  */
-void writeRunReport(std::ostream &os, const RunReportConfig &config,
-                    const MetricSet &metrics);
+[[nodiscard]] bool writeRunReport(std::ostream &os,
+                                  const RunReportConfig &config,
+                                  const MetricSet &metrics);
 
 } // namespace nisqpp::obs
 

@@ -232,7 +232,7 @@ traceDroppedCount()
     return g_dropped;
 }
 
-void
+bool
 writeChromeTrace(std::ostream &os)
 {
     std::lock_guard<std::mutex> lock(g_traceMutex);
@@ -265,6 +265,8 @@ writeChromeTrace(std::ostream &os)
     os << "}\n";
     os.flags(flags);
     os.precision(precision);
+    os.flush();
+    return static_cast<bool>(os);
 }
 
 } // namespace nisqpp::obs

@@ -111,9 +111,11 @@ std::size_t traceDroppedCount();
 
 /**
  * Write the captured events as a chrome://tracing JSON document
- * (load via chrome://tracing or https://ui.perfetto.dev).
+ * (load via chrome://tracing or https://ui.perfetto.dev). Returns
+ * false when the stream is bad after the final write + flush (ENOSPC,
+ * short write): the dump is truncated and the caller must report it.
  */
-void writeChromeTrace(std::ostream &os);
+[[nodiscard]] bool writeChromeTrace(std::ostream &os);
 
 } // namespace nisqpp::obs
 

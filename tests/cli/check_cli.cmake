@@ -126,6 +126,74 @@ else()
 endif()
 file(REMOVE ${metrics_file} ${trace_file})
 
+# Checkpoint flags: malformed cadences and dangling flags are rejected
+# at parse time; resuming a file that isn't there (or isn't a
+# checkpoint) is a clear, non-zero error.
+check_cli(bad_ckpt_interval_zero FALSE ERR
+          "--checkpoint-interval: expected an integer"
+          fig01_sqv --checkpoint x.ckpt --checkpoint-interval 0)
+check_cli(bad_ckpt_interval_fractional FALSE ERR
+          "--checkpoint-interval: expected an integer"
+          fig01_sqv --checkpoint x.ckpt --checkpoint-interval 2.5)
+check_cli(bad_ckpt_interval_junk FALSE ERR
+          "--checkpoint-interval: expected a number"
+          fig01_sqv --checkpoint x.ckpt --checkpoint-interval often)
+check_cli(ckpt_interval_requires_path FALSE ERR
+          "--checkpoint-interval requires --checkpoint or --resume"
+          fig01_sqv --checkpoint-interval 8)
+check_cli(checkpoint_missing_value FALSE ERR
+          "--checkpoint: missing value"
+          fig01_sqv --checkpoint)
+check_cli(resume_missing_file FALSE ERR
+          "cannot resume: cannot open checkpoint"
+          fig10_final --resume /nonexistent-dir/none.ckpt)
+set(garbage_ckpt ${CMAKE_CURRENT_BINARY_DIR}/cli_garbage.ckpt)
+file(WRITE ${garbage_ckpt} "not a checkpoint\n")
+check_cli(resume_garbage_file FALSE ERR
+          "cannot resume:"
+          fig10_final --resume ${garbage_ckpt})
+file(REMOVE ${garbage_ckpt})
+
+# Report writers must notice a sink that accepts the open but fails
+# the write (full disk): exit non-zero with the file named.
+if(EXISTS /dev/full)
+  check_cli(metrics_out_full_disk FALSE ERR
+            "write failed: --metrics-out '/dev/full'"
+            fig01_sqv --metrics-out /dev/full)
+endif()
+
+# Checkpointed and resumed runs print the same bytes as a plain run:
+# the determinism contract survives the CLI round trip.
+set(cli_ckpt ${CMAKE_CURRENT_BINARY_DIR}/cli_roundtrip.ckpt)
+file(REMOVE ${cli_ckpt})
+set(ckpt_args fig10_final --format csv --threads 2
+    --trials-scale 0.01 --shard-trials 64)
+execute_process(COMMAND ${NISQPP_RUN} ${ckpt_args}
+                RESULT_VARIABLE plain_rc OUTPUT_VARIABLE plain_out
+                ERROR_VARIABLE plain_err)
+execute_process(COMMAND ${NISQPP_RUN} ${ckpt_args}
+                        --checkpoint ${cli_ckpt}
+                RESULT_VARIABLE ckpt_rc OUTPUT_VARIABLE ckpt_out
+                ERROR_VARIABLE ckpt_err)
+execute_process(COMMAND ${NISQPP_RUN} ${ckpt_args}
+                        --resume ${cli_ckpt}
+                RESULT_VARIABLE resume_rc OUTPUT_VARIABLE resume_out
+                ERROR_VARIABLE resume_err)
+if(NOT plain_rc EQUAL 0 OR NOT ckpt_rc EQUAL 0 OR
+   NOT resume_rc EQUAL 0)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "checkpoint_roundtrip: exits ${plain_rc}/${ckpt_rc}/"
+                  "${resume_rc}:\n${plain_err}${ckpt_err}${resume_err}")
+elseif(NOT ckpt_out STREQUAL plain_out OR
+       NOT resume_out STREQUAL plain_out)
+  math(EXPR failures "${failures} + 1")
+  message(WARNING "checkpoint_roundtrip: checkpointed or resumed "
+                  "stdout differs from the plain run")
+else()
+  message(STATUS "checkpoint_roundtrip: ok")
+endif()
+file(REMOVE ${cli_ckpt})
+
 # Happy paths stay intact. --list must print one-line descriptions
 # sourced from the registry (name  -  description), not bare names.
 check_cli(list_names TRUE OUT "streaming_backlog" --list)

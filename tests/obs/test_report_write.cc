@@ -1,0 +1,66 @@
+/** @file The report and trace writers must report stream failure: a
+ * truncated JSON document (full disk, closed pipe) can never pass for
+ * a successful run. */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/trace.hh"
+
+namespace nisqpp::obs {
+namespace {
+
+MetricSet
+someMetrics()
+{
+    MetricSet metrics;
+    metrics.add("engine.trials", 100);
+    metrics.add("timing.span.decode.count", 3);
+    return metrics;
+}
+
+TEST(ReportWrite, HealthyStreamSucceeds)
+{
+    std::ostringstream os;
+    EXPECT_TRUE(writeRunReport(os, RunReportConfig{"unit"},
+                               someMetrics()));
+    EXPECT_NE(os.str().find("\"engine.trials\":100"),
+              std::string::npos);
+}
+
+TEST(ReportWrite, BadStreamReportsFailure)
+{
+    std::ostringstream os;
+    os.setstate(std::ios::badbit);
+    EXPECT_FALSE(writeRunReport(os, RunReportConfig{"unit"},
+                                someMetrics()));
+}
+
+TEST(ReportWrite, UnopenableFileReportsFailure)
+{
+    std::ofstream os(testing::TempDir() +
+                     "no_such_dir_xyzzy/report.json");
+    EXPECT_FALSE(writeRunReport(os, RunReportConfig{"unit"},
+                                someMetrics()));
+}
+
+TEST(TraceWrite, HealthyStreamSucceeds)
+{
+    std::ostringstream os;
+    EXPECT_TRUE(writeChromeTrace(os));
+    EXPECT_NE(os.str().find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceWrite, BadStreamReportsFailure)
+{
+    std::ostringstream os;
+    os.setstate(std::ios::badbit);
+    EXPECT_FALSE(writeChromeTrace(os));
+}
+
+} // namespace
+} // namespace nisqpp::obs

@@ -1,0 +1,14 @@
+/**
+ * @file Thin wrapper over the 'tiered_decode' scenario: dispatches
+ * through the parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --shard-trials,
+ * --escalate-threshold).
+ */
+
+#include "engine/scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    return nisqpp::scenarioMain("tiered_decode", argc, argv);
+}

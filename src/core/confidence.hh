@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Decode-confidence extraction from SFQ mesh telemetry, the signal
+ * driving tiered escalation (the paper's thesis operationalized: the
+ * mesh decodes everything, and the rare windows it struggled with are
+ * routed to an exact software decoder). The mesh already reports how
+ * hard each decode was — cycles to completion, global resets, and the
+ * exit path (clean completion vs cycle cap vs quiescence window) — so
+ * confidence is a pure function of MeshDecodeStats, costs nothing on
+ * the hot path, and is byte-deterministic like every other counter.
+ */
+
+#ifndef NISQPP_CORE_CONFIDENCE_HH
+#define NISQPP_CORE_CONFIDENCE_HH
+
+#include <vector>
+
+#include "core/mesh_stats.hh"
+
+namespace nisqpp {
+
+/**
+ * Per-decode telemetry of one tiered decode (one lane of a batch):
+ * the confidence the mesh's answer earned, whether it was escalated
+ * to the exact backend, and the Pauli-frame repair the exact decoder
+ * demanded when it disagreed with the provisional commit.
+ */
+struct TieredDecodeStats
+{
+    /** Mesh confidence in [0, 1]; 1 = trivially clean decode. */
+    double confidence = 1.0;
+    /** Confidence fell below the threshold; exact decoder consulted. */
+    bool escalated = false;
+    /** Exact decoder disagreed; a frame repair was emitted. */
+    bool repaired = false;
+    /**
+     * Data-qubit flips turning the provisional (mesh) correction into
+     * the exact one — XOR of the two flip sets, sorted, duplicates
+     * cancelled mod 2. Empty when not escalated or when the exact
+     * decoder agreed.
+     */
+    std::vector<int> repairFlips;
+
+    void
+    reset()
+    {
+        confidence = 1.0;
+        escalated = false;
+        repaired = false;
+        repairFlips.clear();
+    }
+};
+
+/**
+ * Confidence signal over one mesh decode's telemetry. Hard exits are
+ * unambiguous: a decode that hit the cycle cap, quiesced with work
+ * outstanding, or left hot syndromes unresolved earns zero confidence
+ * — those are exactly the "ambiguous window" failure modes the mesh
+ * cannot distinguish from success on its own. Clean completions earn
+ *
+ *     quiescenceWindow / (quiescenceWindow + cycles
+ *                         + resetPenaltyCycles * resets)
+ *
+ * which is 1.0 for an empty syndrome (0 cycles), decays smoothly with
+ * decode effort, and normalizes by the quiescence window so the same
+ * threshold means the same relative effort at every distance. Resets
+ * are penalized extra: each global reset marks a pairing conflict the
+ * mesh resolved greedily, the situation where its approximation is
+ * most likely to differ from the exact matching.
+ */
+struct MeshConfidence
+{
+    /** Mesh no-progress window (MeshDecoder::quiescenceWindow()). */
+    int quiescenceWindow = 1;
+    /** Extra effort charged per global reset. */
+    int resetPenaltyCycles = 8;
+
+    double
+    score(const MeshDecodeStats &stats) const
+    {
+        if (stats.timedOut || stats.quiesced || stats.remainingHot > 0)
+            return 0.0;
+        const double window =
+            quiescenceWindow > 0 ? quiescenceWindow : 1;
+        const double effort =
+            stats.cycles +
+            static_cast<double>(resetPenaltyCycles) * stats.resets;
+        return window / (window + effort);
+    }
+};
+
+} // namespace nisqpp
+
+#endif // NISQPP_CORE_CONFIDENCE_HH

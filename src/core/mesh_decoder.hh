@@ -49,6 +49,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/logging.hh"
 #include "core/mesh_config.hh"
 #include "core/mesh_stats.hh"
 #include "core/module_logic.hh"
@@ -132,11 +133,20 @@ class MeshDecoder : public Decoder
      * Override the cycle cap and quiescence window (tests only: forces
      * the cap/quiescence exits on tame syndromes so lane freezing can
      * be exercised deterministically). Applies to scalar and batched
-     * decodes alike.
+     * decodes alike. Both limits must be positive: a non-positive cap
+     * or window would make every decode exit instantly, which is
+     * indistinguishable from (and has been mistaken for) a configured
+     * quiescence test — so it hard-errors even in release builds.
      */
     void
     setLimitsForTest(int cycle_cap, int quiescence_window)
     {
+        NISQPP_DCHECK(cycle_cap > 0 && quiescence_window > 0,
+                      "MeshDecoder::setLimitsForTest: limits must be "
+                      "positive");
+        require(cycle_cap > 0 && quiescence_window > 0,
+                "MeshDecoder::setLimitsForTest: cycle cap and "
+                "quiescence window must be positive");
         cycleCap_ = cycle_cap;
         quiescence_ = quiescence_window;
     }

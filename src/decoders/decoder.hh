@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/confidence.hh"
 #include "core/mesh_stats.hh"
 #include "surface/error_state.hh"
 #include "surface/lattice.hh"
@@ -119,6 +120,21 @@ class Decoder
      */
     virtual const MeshDecodeStats *
     meshStats(std::size_t lane = 0) const
+    {
+        (void)lane;
+        return nullptr;
+    }
+
+    /**
+     * Tiered telemetry of lane @p lane of the most recent decode:
+     * confidence, escalation and frame-repair outcome. Null for
+     * decoders without a tiered path and for lanes past the last
+     * decode's batch size — the streaming pipeline probes this to
+     * charge escalation latency and count repairs without knowing the
+     * concrete decoder type.
+     */
+    virtual const TieredDecodeStats *
+    tieredStats(std::size_t lane = 0) const
     {
         (void)lane;
         return nullptr;

@@ -162,6 +162,11 @@ scenarioRegistry()
          "every noise channel x every decoder at d = 5: PL grid plus "
          "each decoder's decodeWindow strategy",
          noiseZoo},
+        {"tiered_decode",
+         "tiered mesh-first decoding: confidence-threshold sweep "
+         "mapping the accuracy vs latency vs escalation-rate frontier "
+         "against pure-mesh and pure-software baselines",
+         tieredDecode},
     };
     return registry;
 }
@@ -310,7 +315,7 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
           " [--seed S] [--batch N] [--format table|csv|json]"
           " [--metrics-out FILE] [--trace-out FILE]"
           " [--checkpoint FILE] [--checkpoint-interval N]"
-          " [--resume FILE]";
+          " [--resume FILE] [--escalate-threshold X]";
     if (withScenario)
         os << " [--list]";
     os << " [--help]\n";
@@ -325,6 +330,8 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
           "dump of the instrumented stages.\n";
     os << "\nNISQPP_TRIALS (env) multiplies trial budgets on top of"
           " --trials-scale.\n";
+    os << "--escalate-threshold X pins tiered_decode to one confidence"
+          " threshold in [0, 1]\ninstead of its default sweep.\n";
     os << "NISQPP_BATCH (env) / --batch N group N rounds per decode"
           " batch (1 = scalar;\nlane-packed mesh decoding otherwise;"
           " aggregates are identical either way).\n";
@@ -401,6 +408,12 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 fatal("--batch: expected an integer in [1, " +
                       std::to_string(kMaxBatchLanes) + "]");
             parsed.options.batchLanes = static_cast<std::size_t>(v);
+        } else if (arg == "--escalate-threshold") {
+            const double v = numericValue(arg, value());
+            if (!(v >= 0.0) || v > 1.0)
+                fatal("--escalate-threshold: expected a fraction in "
+                      "[0, 1]");
+            parsed.options.escalateThreshold = v;
         } else if (arg == "--trials-scale") {
             const double v = numericValue(arg, value());
             if (!(v > 0) || v > kMaxTrialsMultiplier)

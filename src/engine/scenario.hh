@@ -58,6 +58,12 @@ struct RunOptions
      *  completions between periodic writes. */
     std::size_t checkpointInterval = ckpt::kDefaultCheckpointInterval;
     bool checkpointIntervalSet = false; ///< flag given explicitly
+    /**
+     * --escalate-threshold X in [0, 1]: pin the tiered_decode
+     * scenario to one confidence threshold instead of its default
+     * sweep. Negative = not given.
+     */
+    double escalateThreshold = -1.0;
 };
 
 /**
@@ -82,6 +88,12 @@ class ScenarioContext
 
     /** Apply --trials-scale and then NISQPP_TRIALS to a stop rule. */
     StopRule scaled(const StopRule &rule) const;
+
+    /** --escalate-threshold when given, else negative. */
+    double escalateThreshold() const
+    {
+        return options_.escalateThreshold;
+    }
 
     /** Narrative line; printed in table mode only. */
     void note(const std::string &line);

@@ -43,6 +43,9 @@ void fig10Measurement(ScenarioContext &ctx);
 void noiseZoo(ScenarioContext &ctx);
 /** @} */
 
+/** Tiered mesh-first decoding frontier (scenarios_tiered.cc). */
+void tieredDecode(ScenarioContext &ctx);
+
 } // namespace scenarios
 } // namespace nisqpp
 

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tiered-decoding scenario: the paper's thesis operationalized on the
+ * streaming pipeline. The lane-packed mesh decodes every round (or
+ * window) and commits provisionally; a confidence signal over its own
+ * telemetry escalates the hard tail to an exact software decoder with
+ * Pauli-frame repair on disagreement. Sweeping the confidence
+ * threshold maps the full accuracy-vs-latency-vs-escalation-rate
+ * frontier between the pure-mesh and pure-software operating points,
+ * with both baselines measured on the same noise stream (identical
+ * seed per table) so every difference is decoder policy, not sampling.
+ */
+
+#include "engine/scenarios.hh"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "engine/scenario.hh"
+#include "sim/experiment.hh"
+#include "stream/stream_sim.hh"
+
+namespace nisqpp {
+namespace scenarios {
+
+namespace {
+
+/** One streaming run of the frontier: a policy plus its latency model. */
+struct TieredCell
+{
+    std::string label;
+    /** >= 0: tiered decoder at this confidence threshold. */
+    double threshold = -1.0;
+    /** Baseline decoder family when threshold < 0. */
+    std::string family = "sfq_mesh";
+    StreamConfig config;
+};
+
+/** Escalation backend of every tiered cell in this scenario. */
+constexpr const char *kExactFamily = "union_find";
+
+/**
+ * Run every cell through the engine's job pool (results land in cell
+ * order at any thread count) and fold each cell's deterministic
+ * stream/decoder counters into the scenario sink in fixed cell order.
+ */
+std::vector<StreamingResult>
+runTieredCells(ScenarioContext &ctx, const SurfaceLattice &lattice,
+               const std::vector<TieredCell> &cells)
+{
+    std::vector<StreamingResult> results(cells.size());
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        jobs.push_back([&cells, &results, &lattice, i] {
+            const TieredCell &cell = cells[i];
+            StreamConfig config = cell.config;
+            config.lattice = &lattice;
+            std::unique_ptr<Decoder> decoder;
+            if (cell.threshold >= 0.0)
+                decoder = tieredDecoderFactory(
+                    MeshConfig::finalDesign(), kExactFamily,
+                    cell.threshold)(lattice, ErrorType::Z);
+            else
+                decoder =
+                    decoderFamilies()[decoderFamilyIndex(cell.family)]
+                        .factory(lattice, ErrorType::Z);
+            results[i] = runStream(config, *decoder);
+        });
+    }
+    ctx.engine().runJobs(std::move(jobs));
+    for (const StreamingResult &r : results)
+        ctx.metrics().merge(r.metrics);
+    return results;
+}
+
+/** The threshold grid: --escalate-threshold pins a single point. */
+std::vector<double>
+thresholdGrid(ScenarioContext &ctx)
+{
+    if (ctx.escalateThreshold() >= 0.0)
+        return {ctx.escalateThreshold()};
+    return {0.25, 0.50, 0.75, 0.90, 1.00};
+}
+
+/** Decodes that could have escalated: windows on windowed runs. */
+std::size_t
+decodeCount(const StreamingResult &r)
+{
+    return r.windows > 0 ? r.windows : r.rounds;
+}
+
+void
+addResultRow(TablePrinter &table, const TieredCell &cell,
+             const StreamingResult &r)
+{
+    const double decodes = static_cast<double>(decodeCount(r));
+    table.addRow(
+        {cell.label,
+         cell.threshold >= 0.0 ? TablePrinter::num(cell.threshold, 3)
+                               : std::string("-"),
+         TablePrinter::num(r.logicalErrorRate, 3),
+         std::to_string(r.escalations),
+         TablePrinter::num(static_cast<double>(r.escalations) / decodes,
+                           4),
+         std::to_string(r.repairs),
+         std::to_string(r.repairFrameFlips),
+         TablePrinter::num(r.fEmpirical, 4),
+         TablePrinter::num(r.serviceNs.mean(), 4),
+         TablePrinter::num(r.servicePercentiles.p50, 4),
+         TablePrinter::num(r.servicePercentiles.p99, 4),
+         std::to_string(r.maxBacklogRounds),
+         std::to_string(r.finalBacklogRounds)});
+}
+
+const std::vector<std::string> kColumns{
+    "decoder",   "threshold",   "PL",       "escalated",
+    "esc rate",  "repairs",     "frame flips", "f",
+    "svc mean (ns)", "svc p50", "svc p99",  "max backlog",
+    "final backlog"};
+
+} // namespace
+
+void
+tieredDecode(ScenarioContext &ctx)
+{
+    ctx.note("=== tiered_decode: mesh-first decoding with "
+             "confidence-based escalation ===");
+    ctx.note("(every round is decoded by the SFQ mesh and committed "
+             "provisionally; a confidence score over the mesh's own "
+             "telemetry - cycles, resets, cap/quiescence exits - "
+             "escalates low-confidence decodes to union-find, with "
+             "Pauli-frame repair when the exact answer disagrees. "
+             "Escalated rounds pay the mesh attempt plus the software "
+             "latency on the virtual clock. All rows of a table share "
+             "one noise stream, so differences are pure decoder "
+             "policy.)\n");
+
+    const std::vector<double> thresholds = thresholdGrid(ctx);
+
+    // --- Frontier: per-round pipeline at the paper's operating point.
+    const int d = 9;
+    const std::size_t rounds =
+        ctx.scaled({4000, 4000, 1u << 30}).maxTrials;
+    Rng master(ctx.seed(0x71e4edULL));
+    const std::uint64_t frontierSeed = master.split().next();
+    const std::uint64_t windowedSeed = master.split().next();
+    const SurfaceLattice lattice(d);
+
+    std::vector<TieredCell> cells;
+    auto baseConfig = [&](const std::string &latencyFamily) {
+        StreamConfig config;
+        config.physicalRate = 0.05;
+        config.syndromeCycleNs = 400.0;
+        config.rounds = rounds;
+        config.seed = frontierSeed;
+        config.latency = latencyFamily == "tiered"
+                             ? StreamLatencyModel::tiered(kExactFamily, d)
+                             : StreamLatencyModel::forFamily(
+                                   latencyFamily, d);
+        return config;
+    };
+    {
+        TieredCell mesh;
+        mesh.label = "sfq_mesh";
+        mesh.config = baseConfig("sfq_mesh");
+        cells.push_back(mesh);
+    }
+    for (double threshold : thresholds) {
+        TieredCell cell;
+        cell.label = "tiered";
+        cell.threshold = threshold;
+        cell.config = baseConfig("tiered");
+        cells.push_back(cell);
+    }
+    {
+        TieredCell uf;
+        uf.label = kExactFamily;
+        uf.family = kExactFamily;
+        uf.config = baseConfig(kExactFamily);
+        cells.push_back(uf);
+    }
+    const std::vector<StreamingResult> results =
+        runTieredCells(ctx, lattice, cells);
+
+    TablePrinter env({"key", "value"});
+    env.addRow({"distance", std::to_string(d)});
+    env.addRow({"physical error rate", "0.05"});
+    env.addRow({"syndrome cycle (ns)", "400"});
+    env.addRow({"rounds per cell", std::to_string(rounds)});
+    env.addRow({"escalation backend", kExactFamily});
+    ctx.table("tiered_env", env);
+
+    TablePrinter frontier(kColumns);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        addResultRow(frontier, cells[i], results[i]);
+    ctx.table("tiered_frontier_d9_400ns", frontier);
+
+    // --- Windowed pipeline under faulty measurement: the mesh's
+    // round-majority window decode escalates to union-find's true
+    // spacetime matching.
+    const int wd = 5;
+    const std::size_t w = static_cast<std::size_t>(wd);
+    std::size_t wrounds =
+        ctx.scaled({2000, 2000, 1u << 30}).maxTrials;
+    wrounds = std::max(w, wrounds - wrounds % w);
+    const SurfaceLattice wlattice(wd);
+
+    std::vector<TieredCell> wcells;
+    auto windowConfig = [&](const std::string &latencyFamily) {
+        StreamConfig config;
+        config.physicalRate = 0.03;
+        config.measurementFlipRate = 0.03;
+        config.windowRounds = w;
+        config.syndromeCycleNs = 400.0;
+        config.rounds = wrounds;
+        config.seed = windowedSeed;
+        config.latency =
+            latencyFamily == "tiered"
+                ? StreamLatencyModel::tiered(kExactFamily, wd)
+                : StreamLatencyModel::forFamily(latencyFamily, wd);
+        return config;
+    };
+    {
+        TieredCell mesh;
+        mesh.label = "sfq_mesh (majority)";
+        mesh.family = "sfq_mesh";
+        mesh.config = windowConfig("sfq_mesh");
+        wcells.push_back(mesh);
+    }
+    for (double threshold : thresholds) {
+        TieredCell cell;
+        cell.label = "tiered";
+        cell.threshold = threshold;
+        cell.config = windowConfig("tiered");
+        wcells.push_back(cell);
+    }
+    {
+        TieredCell uf;
+        uf.label = std::string(kExactFamily) + " (spacetime)";
+        uf.family = kExactFamily;
+        uf.config = windowConfig(kExactFamily);
+        wcells.push_back(uf);
+    }
+    const std::vector<StreamingResult> wresults =
+        runTieredCells(ctx, wlattice, wcells);
+
+    TablePrinter windowed(kColumns);
+    for (std::size_t i = 0; i < wcells.size(); ++i)
+        addResultRow(windowed, wcells[i], wresults[i]);
+    ctx.table("tiered_windowed_d5_q3", windowed);
+
+    ctx.note("\nreading the frontier: threshold 0 is pure mesh, 1.0 "
+             "escalates everything the mesh didn't solve trivially; "
+             "in between, PL tracks the exact baseline while the "
+             "escalation rate (and with it the mean/p99 service time) "
+             "stays a small fraction of the rounds - the rare hard "
+             "windows buy exactness, the easy majority keeps the "
+             "mesh's latency.");
+}
+
+} // namespace scenarios
+} // namespace nisqpp

@@ -4,6 +4,7 @@
 #include "core/mesh_decoder.hh"
 #include "decoders/greedy_decoder.hh"
 #include "decoders/mwpm_decoder.hh"
+#include "decoders/tiered_decoder.hh"
 #include "decoders/union_find_decoder.hh"
 
 namespace nisqpp {
@@ -46,6 +47,29 @@ greedyDecoderFactory()
 {
     return [](const SurfaceLattice &lat, ErrorType type) {
         return std::make_unique<GreedyDecoder>(lat, type);
+    };
+}
+
+DecoderFactory
+tieredDecoderFactory(const MeshConfig &meshConfig,
+                     const std::string &exactFamily, double threshold)
+{
+    DecoderFactory exact;
+    if (exactFamily == "union_find")
+        exact = unionFindDecoderFactory();
+    else if (exactFamily == "mwpm")
+        exact = mwpmDecoderFactory();
+    else if (exactFamily == "greedy")
+        exact = greedyDecoderFactory();
+    else
+        fatal("tieredDecoderFactory: unknown escalation family '" +
+              exactFamily + "' (expected union_find, mwpm or greedy)");
+    return [meshConfig, exact, threshold](const SurfaceLattice &lat,
+                                          ErrorType type) {
+        return std::make_unique<TieredDecoder>(
+            lat, type,
+            std::make_unique<MeshDecoder>(lat, type, meshConfig),
+            exact(lat, type), threshold);
     };
 }
 

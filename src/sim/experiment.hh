@@ -40,6 +40,21 @@ DecoderFactory unionFindDecoderFactory();
 DecoderFactory greedyDecoderFactory();
 /** @} */
 
+/**
+ * Tiered decoder factory: a mesh first tier built from @p meshConfig
+ * with an exact escalation backend (@p exactFamily is a software
+ * family name: "union_find", "mwpm" or "greedy"); decodes whose mesh
+ * confidence falls below @p threshold escalate. Deliberately *not*
+ * part of decoderFamilies(): the tiered decoder is an operating mode
+ * composed from those families (the tiered_decode scenario and the
+ * determinism tests build it explicitly), not a fifth baseline, and
+ * adding it to the registry would sweep it through every
+ * all-families scenario and golden.
+ */
+DecoderFactory tieredDecoderFactory(const MeshConfig &meshConfig,
+                                    const std::string &exactFamily,
+                                    double threshold);
+
 /** One named decoder family for cross-decoder comparison scenarios. */
 struct DecoderFamily
 {

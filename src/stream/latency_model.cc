@@ -55,4 +55,13 @@ StreamLatencyModel::forFamily(const std::string &family, int distance)
           "' (expected sfq_mesh, mwpm, union_find or greedy)");
 }
 
+StreamLatencyModel
+StreamLatencyModel::tiered(const std::string &exactFamily, int distance)
+{
+    StreamLatencyModel m = mesh();
+    m.name = "tiered-" + exactFamily;
+    m.escalateNs = forFamily(exactFamily, distance).baseNs;
+    return m;
+}
+
 } // namespace nisqpp

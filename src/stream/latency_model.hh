@@ -41,6 +41,15 @@ struct StreamLatencyModel
     double meshPeriodPs = 162.72;
 
     /**
+     * Extra cost charged when the round's decode escalated to the
+     * exact software tier (tiered decoding): the streaming pipeline
+     * adds this on top of decodeNs() for rounds whose
+     * Decoder::tieredStats() reports an escalation. Zero for
+     * non-tiered models.
+     */
+    double escalateNs = 0.0;
+
+    /**
      * Latency of the round just decoded. @p stats is the decoder's
      * Decoder::meshStats() telemetry (null for software decoders);
      * @p hotWeight is the decoded syndrome's hot-ancilla count.
@@ -62,6 +71,15 @@ struct StreamLatencyModel
      */
     static StreamLatencyModel forFamily(const std::string &family,
                                         int distance);
+
+    /**
+     * Tiered preset: mesh-cycle latency for the first tier plus
+     * @p exactFamily's reference latency as the escalation surcharge
+     * (the escalated window pays the mesh attempt *and* the software
+     * decode — the pipeline model assumes no overlap).
+     */
+    static StreamLatencyModel tiered(const std::string &exactFamily,
+                                     int distance);
 };
 
 } // namespace nisqpp

@@ -87,6 +87,42 @@ runStream(const StreamConfig &config, Decoder &decoder,
     }
     const Correction emptyCorrection; ///< observer arg between commits
 
+    // Commit the decode's correction and return the resulting crossing
+    // parity. A tiered decode that was repaired commits in two steps —
+    // the provisional (mesh) frame is final XOR repair, so the repair
+    // is pre-applied, the final correction lands the state on the
+    // provisional frame, and the repair is then applied on top — and
+    // the tiered escalation/repair/frame-flip counters accrue here.
+    auto commitCorrection = [&]() {
+        const TieredDecodeStats *ts = decoder.tieredStats();
+        if (ts && ts->escalated)
+            ++result.escalations;
+        if (!ts || !ts->repaired) {
+            workspace->correction.applyTo(stream.state(), ErrorType::Z);
+            return crossingParity(stream.state(), ErrorType::Z);
+        }
+        for (int d : ts->repairFlips)
+            stream.state().flip(ErrorType::Z, d);
+        workspace->correction.applyTo(stream.state(), ErrorType::Z);
+        const bool provisionalParity =
+            crossingParity(stream.state(), ErrorType::Z);
+        for (int d : ts->repairFlips)
+            stream.state().flip(ErrorType::Z, d);
+        const bool repairedParity =
+            crossingParity(stream.state(), ErrorType::Z);
+        ++result.repairs;
+        if (repairedParity != provisionalParity)
+            ++result.repairFrameFlips;
+        return repairedParity;
+    };
+
+    // Escalated decodes pay the mesh attempt plus the software tier.
+    auto withEscalation = [&](double ns) {
+        const TieredDecodeStats *ts = decoder.tieredStats();
+        return ts && ts->escalated ? ns + config.latency.escalateNs
+                                   : ns;
+    };
+
     auto completeFront = [&]() {
         const StreamRound &entry = queue.front();
         const double start = std::max(consumerFreeNs, entry.arriveNs);
@@ -125,6 +161,7 @@ runStream(const StreamConfig &config, Decoder &decoder,
         }
         const Syndrome &syndrome = *produced;
         double serviceNs = 0.0;
+        bool decoded = false;
         if (w == 0) {
             {
                 obs::TraceSpan decodeSpan(obs::Stage::StreamDecode);
@@ -133,18 +170,16 @@ runStream(const StreamConfig &config, Decoder &decoder,
             bool nowParity;
             {
                 obs::TraceSpan commitSpan(obs::Stage::StreamCommit);
-                workspace->correction.applyTo(stream.state(),
-                                              ErrorType::Z);
-                nowParity =
-                    crossingParity(stream.state(), ErrorType::Z);
+                nowParity = commitCorrection();
             }
             if (nowParity != parity)
                 ++result.failures;
             parity = nowParity;
             if (observer && *observer)
                 (*observer)(k, syndrome, workspace->correction);
-            serviceNs = config.latency.decodeNs(decoder.meshStats(),
-                                                syndrome.weight());
+            serviceNs = withEscalation(config.latency.decodeNs(
+                decoder.meshStats(), syndrome.weight()));
+            decoded = true;
         } else {
             const int t = static_cast<int>(k % w);
             window->recordRound(t, syndrome);
@@ -162,19 +197,17 @@ runStream(const StreamConfig &config, Decoder &decoder,
                 {
                     obs::TraceSpan commitSpan(
                         obs::Stage::StreamCommit);
-                    workspace->correction.applyTo(stream.state(),
-                                                  ErrorType::Z);
                     ++result.windows;
-                    nowParity =
-                        crossingParity(stream.state(), ErrorType::Z);
+                    nowParity = commitCorrection();
                 }
                 if (nowParity != parity)
                     ++result.failures;
                 parity = nowParity;
                 if (observer && *observer)
                     (*observer)(k, syndrome, workspace->correction);
-                serviceNs = config.latency.decodeNs(
-                    decoder.meshStats(), window->eventWeight());
+                serviceNs = withEscalation(config.latency.decodeNs(
+                    decoder.meshStats(), window->eventWeight()));
+                decoded = true;
                 // Re-arm: the next window's round-0 events are
                 // measured against the post-commit perfect frame.
                 stream.extractPerfectInto(*commitSyn);
@@ -184,9 +217,16 @@ runStream(const StreamConfig &config, Decoder &decoder,
                 (*observer)(k, syndrome, emptyCorrection);
             }
         }
-        result.serviceNs.add(serviceNs);
-        serviceHist.add(
-            static_cast<std::size_t>(std::llround(serviceNs)));
+        // Only rounds that actually ran a decode enter the service
+        // statistics: non-closing windowed rounds cost no decode work,
+        // and their zero "services" would dilute the percentiles
+        // relative to the per-round path. (They still pass through the
+        // queue with zero service so arrival accounting is unchanged.)
+        if (decoded) {
+            result.serviceNs.add(serviceNs);
+            serviceHist.add(
+                static_cast<std::size_t>(std::llround(serviceNs)));
+        }
 
         queue.push({k, tArrive, serviceNs});
         ++result.rounds;
@@ -212,7 +252,13 @@ runStream(const StreamConfig &config, Decoder &decoder,
         static_cast<double>(result.finalBacklogRounds) /
         static_cast<double>(result.rounds);
     result.drainNs = std::max(0.0, lastDone - endOfProduction);
-    result.fEmpirical = result.serviceNs.mean() / cycle;
+    // f is normalized per *produced round* (total service over total
+    // production time), so windowed runs amortize each window's single
+    // decode over its rounds and stay comparable to the w == 0 path.
+    result.fEmpirical =
+        result.serviceNs.mean() *
+        static_cast<double>(result.serviceNs.count()) /
+        (static_cast<double>(result.rounds) * cycle);
     result.logicalErrorRate =
         static_cast<double>(result.failures) /
         static_cast<double>(w > 0 ? result.windows : result.rounds);
@@ -238,6 +284,13 @@ runStream(const StreamConfig &config, Decoder &decoder,
                             result.maxQueueDepth);
     result.metrics.maxGauge("stream.backlog.max_rounds",
                             result.maxBacklogRounds);
+    if (decoder.tieredStats()) {
+        result.metrics.add("stream.tiered.escalations",
+                           result.escalations);
+        result.metrics.add("stream.tiered.repairs", result.repairs);
+        result.metrics.add("stream.tiered.frame_flips",
+                           result.repairFrameFlips);
+    }
     decoder.exportMetrics(result.metrics);
     return result;
 }

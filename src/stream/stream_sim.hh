@@ -64,12 +64,30 @@ struct StreamingResult
     std::size_t failures = 0; ///< lifetime-protocol logical flips
 
     /**
+     * Tiered-decoder telemetry (zero for non-tiered decoders): decodes
+     * escalated to the exact tier, escalations whose exact answer
+     * disagreed with the provisional mesh commit (a Pauli-frame repair
+     * was applied), and repairs that flipped the committed logical
+     * frame. @{
+     */
+    std::size_t escalations = 0;
+    std::size_t repairs = 0;
+    std::size_t repairFrameFlips = 0;
+    /** @} */
+
+    /**
      * failures / rounds — or failures / windows on windowed runs —
      * the streaming counterpart of PL.
      */
     double logicalErrorRate = 0.0;
 
-    /** Modeled decode service time per round (ns). */
+    /**
+     * Modeled decode service time per *decode* (ns): one observation
+     * per round on the per-round pipeline, one per committed window on
+     * windowed runs. Non-closing windowed rounds cost no decode work
+     * and are excluded, so the percentiles below describe actual
+     * decode latency on both paths.
+     */
     RunningStats serviceNs;
     /** Arrival-to-completion sojourn per round (ns; includes queueing). */
     RunningStats sojournNs;
@@ -86,7 +104,11 @@ struct StreamingResult
     double backlogGrowthPerRound = 0.0;
     /** Simulated time past end-of-production to drain the backlog. */
     double drainNs = 0.0;
-    /** Mean service time / syndrome cycle: the measured ratio f. */
+    /**
+     * Total decode service time / total production time: the measured
+     * operating ratio f (normalized per produced round, so windowed
+     * runs amortize each window's decode over its rounds).
+     */
     double fEmpirical = 0.0;
 
     std::vector<BacklogSample> trajectory;

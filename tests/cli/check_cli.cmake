@@ -65,6 +65,24 @@ check_cli(missing_scenario FALSE ERR
 check_cli(bad_threads FALSE ERR
           "--threads: expected an integer"
           --scenario fig01_sqv --threads 1.5)
+check_cli(bad_trials_scale_junk FALSE ERR
+          "--trials-scale: expected a number"
+          --scenario fig01_sqv --trials-scale 1.5x)
+
+# --escalate-threshold parses strictly (no trailing junk) and only
+# accepts fractions in [0, 1].
+check_cli(bad_escalate_junk FALSE ERR
+          "--escalate-threshold: expected a number"
+          tiered_decode --escalate-threshold 0.5x)
+check_cli(bad_escalate_above_one FALSE ERR
+          "--escalate-threshold: expected a fraction in \\[0, 1\\]"
+          tiered_decode --escalate-threshold 1.5)
+check_cli(bad_escalate_negative FALSE ERR
+          "--escalate-threshold: expected a fraction in \\[0, 1\\]"
+          tiered_decode --escalate-threshold -0.5)
+check_cli(escalate_missing_value FALSE ERR
+          "--escalate-threshold: missing value"
+          tiered_decode --escalate-threshold)
 
 # Bad --batch values are rejected at the flag level (the NISQPP_BATCH
 # env path warns and keeps the previous setting instead; covered by
@@ -202,6 +220,8 @@ check_cli(list_descriptions TRUE OUT
 check_cli(list_windowed_description TRUE OUT
           "fig10_measurement  -  PL vs p under faulty measurement"
           --list)
+check_cli(list_tiered_description TRUE OUT
+          "tiered_decode  -  tiered mesh-first decoding" --list)
 check_cli(flagged_scenario TRUE OUT "SQV" --scenario fig01_sqv)
 check_cli(positional_scenario TRUE OUT "SQV" fig01_sqv)
 check_cli(json_document TRUE OUT "^\\{\"tables\":\\["

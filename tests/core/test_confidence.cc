@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Confidence extraction from mesh telemetry (core/confidence.hh): hard
+ * exits score zero, clean decodes score in (0, 1] monotonically in
+ * decode effort — plus the setLimitsForTest guard rail that keeps a
+ * misconfigured test from masquerading as instant quiescence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/confidence.hh"
+#include "core/mesh_decoder.hh"
+#include "surface/lattice.hh"
+
+namespace nisqpp {
+namespace {
+
+MeshDecodeStats
+cleanStats(int cycles, int resets)
+{
+    MeshDecodeStats s;
+    s.cycles = cycles;
+    s.resets = resets;
+    return s;
+}
+
+TEST(MeshConfidence, HardExitsScoreZero)
+{
+    const MeshConfidence conf{67};
+    MeshDecodeStats timedOut = cleanStats(5, 0);
+    timedOut.timedOut = true;
+    EXPECT_EQ(conf.score(timedOut), 0.0);
+
+    MeshDecodeStats quiesced = cleanStats(5, 0);
+    quiesced.quiesced = true;
+    EXPECT_EQ(conf.score(quiesced), 0.0);
+
+    MeshDecodeStats leftover = cleanStats(5, 0);
+    leftover.remainingHot = 2;
+    EXPECT_EQ(conf.score(leftover), 0.0);
+}
+
+TEST(MeshConfidence, EmptyDecodeScoresOne)
+{
+    const MeshConfidence conf{67};
+    EXPECT_DOUBLE_EQ(conf.score(cleanStats(0, 0)), 1.0);
+}
+
+TEST(MeshConfidence, MonotoneDecreasingInEffort)
+{
+    const MeshConfidence conf{67};
+    double prev = 2.0;
+    for (int cycles : {0, 5, 20, 80, 400}) {
+        const double s = conf.score(cleanStats(cycles, 0));
+        EXPECT_GT(s, 0.0);
+        EXPECT_LE(s, 1.0);
+        EXPECT_LT(s, prev);
+        prev = s;
+    }
+    // Resets cost extra on top of cycles.
+    EXPECT_LT(conf.score(cleanStats(20, 3)),
+              conf.score(cleanStats(20, 0)));
+}
+
+TEST(MeshConfidence, NormalizedByQuiescenceWindow)
+{
+    // The same relative effort scores the same at both windows.
+    const MeshConfidence small{10, 0};
+    const MeshConfidence large{100, 0};
+    EXPECT_DOUBLE_EQ(small.score(cleanStats(10, 0)),
+                     large.score(cleanStats(100, 0)));
+}
+
+TEST(MeshDecoderLimits, SetLimitsForTestAcceptsPositive)
+{
+    SurfaceLattice lattice(3);
+    MeshDecoder mesh(lattice, ErrorType::Z);
+    mesh.setLimitsForTest(12, 4);
+    EXPECT_EQ(mesh.cycleCap(), 12);
+    EXPECT_EQ(mesh.quiescenceWindow(), 4);
+}
+
+TEST(MeshDecoderLimits, SetLimitsForTestRejectsNonPositive)
+{
+    SurfaceLattice lattice(3);
+    MeshDecoder mesh(lattice, ErrorType::Z);
+    EXPECT_DEATH(mesh.setLimitsForTest(0, 4), "positive");
+    EXPECT_DEATH(mesh.setLimitsForTest(12, 0), "positive");
+    EXPECT_DEATH(mesh.setLimitsForTest(-3, -1), "positive");
+}
+
+} // namespace
+} // namespace nisqpp

@@ -17,7 +17,7 @@ TEST(ScenarioRegistry, ContainsEveryFigureAndTable)
         "fig11_distance",  "table1_circuits", "table2_cells",
         "table3_synthesis", "table4_latency", "table5_fit",
         "micro_decoders",  "micro_hotpath",  "streaming_backlog",
-        "fig10_measurement", "noise_zoo",
+        "fig10_measurement", "noise_zoo",    "tiered_decode",
     };
     EXPECT_EQ(scenarioRegistry().size(), std::size(expected));
     for (const char *name : expected) {

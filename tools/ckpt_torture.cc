@@ -27,6 +27,7 @@
  * sections of the golden and final run reports. Exit 0 = survived.
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -55,6 +56,24 @@ fail(const std::string &what)
 {
     std::cerr << "ckpt_torture: FAIL: " << what << "\n";
     std::exit(1);
+}
+
+/**
+ * Strict positive-integer flag parse: the whole token must be digits
+ * (atoi-style partial parses silently turned "4abc" into 4 and "abc"
+ * into 0, making typos indistinguishable from real settings).
+ */
+int
+positiveIntValue(const std::string &flag, const std::string &text)
+{
+    char *end = nullptr;
+    errno = 0;
+    const long v = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+        v < 1 || v > 1000000)
+        fail(flag + ": expected a positive integer, got '" + text +
+             "'");
+    return static_cast<int>(v);
 }
 
 /** Single-quote @p s for POSIX sh. */
@@ -157,7 +176,7 @@ parseOptions(int argc, char **argv)
         else if (arg == "--dir")
             opt.dir = value(i);
         else if (arg == "--threads")
-            opt.threads = std::atoi(value(i).c_str());
+            opt.threads = positiveIntValue(arg, value(i));
         else if (arg == "--seed")
             opt.seed = value(i);
         else if (arg == "--trials-scale")
@@ -165,9 +184,9 @@ parseOptions(int argc, char **argv)
         else if (arg == "--shard-trials")
             opt.shardTrials = value(i);
         else if (arg == "--interval")
-            opt.interval = std::atoi(value(i).c_str());
+            opt.interval = positiveIntValue(arg, value(i));
         else if (arg == "--max-iters")
-            opt.maxIters = std::atoi(value(i).c_str());
+            opt.maxIters = positiveIntValue(arg, value(i));
         else
             usage(argv[0]);
     }

@@ -1,0 +1,13 @@
+/**
+ * @file Thin wrapper over the 'fault_sweep' scenario: dispatches
+ * through the parallel engine and accepts the shared flags (--threads,
+ * --trials-scale, --seed, --format, --fault-*, --deadline-ns).
+ */
+
+#include "engine/scenario.hh"
+
+int
+main(int argc, char **argv)
+{
+    return nisqpp::scenarioMain("fault_sweep", argc, argv);
+}

@@ -16,6 +16,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/fault_env.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
 
@@ -287,59 +288,21 @@ hashLines(const std::vector<std::string> &lines, std::size_t beg,
 
 /** @name Fault injection + write bookkeeping (process-global) @{ */
 
-enum class FaultMode { None, Kill, Tear };
-
-struct FaultPlan
-{
-    FaultMode mode = FaultMode::None;
-    std::uint64_t afterWrites = 0;
-};
+using faultenv::WriteFaultMode;
+using faultenv::WriteFaultPlan;
 
 std::mutex g_writeMutex;
 std::uint64_t g_writeCount = 0;
 bool g_faultParsed = false;
-FaultPlan g_faultPlan;
+WriteFaultPlan g_faultPlan;
 std::function<void(std::uint64_t)> g_observer;
 
-FaultPlan
-parseFaultPlan()
-{
-    const char *env = std::getenv("NISQPP_FAULT_INJECT");
-    if (!env || !*env)
-        return {};
-    const std::string s(env);
-    FaultPlan plan;
-    std::string count;
-    if (s.rfind("kill-after=", 0) == 0) {
-        plan.mode = FaultMode::Kill;
-        count = s.substr(std::strlen("kill-after="));
-    } else if (s.rfind("tear-after=", 0) == 0) {
-        plan.mode = FaultMode::Tear;
-        count = s.substr(std::strlen("tear-after="));
-    } else {
-        warn("NISQPP_FAULT_INJECT='" + s +
-             "' not understood (want kill-after=N or tear-after=N); "
-             "fault injection disabled");
-        return {};
-    }
-    char *end = nullptr;
-    const unsigned long long n = std::strtoull(count.c_str(), &end, 10);
-    if (count.empty() || !end || *end != '\0' || n < 1) {
-        warn("NISQPP_FAULT_INJECT='" + s +
-             "' needs a positive integer write count; "
-             "fault injection disabled");
-        return {};
-    }
-    plan.afterWrites = n;
-    return plan;
-}
-
 /** Cached plan (env is read once per process; resetFaultState clears). */
-const FaultPlan &
+const WriteFaultPlan &
 faultPlan()
 {
     if (!g_faultParsed) {
-        g_faultPlan = parseFaultPlan();
+        g_faultPlan = faultenv::writeFaultPlanFromEnv();
         g_faultParsed = true;
     }
     return g_faultPlan;
@@ -545,13 +508,13 @@ writeCheckpoint(const std::string &path, const CheckpointLedger &ledger)
 
     std::lock_guard<std::mutex> lock(g_writeMutex);
     const std::uint64_t index = ++g_writeCount;
-    const FaultPlan &fault = faultPlan();
+    const WriteFaultPlan &fault = faultPlan();
     // ">= N", not "== N": the counter is process-global and may have
     // advanced before a death-test fork, and the injector must still
     // fire exactly once.
-    const bool fire = fault.mode != FaultMode::None &&
+    const bool fire = fault.mode != WriteFaultMode::None &&
                       index >= fault.afterWrites;
-    const bool tear = fire && fault.mode == FaultMode::Tear;
+    const bool tear = fire && fault.mode == WriteFaultMode::Tear;
 
     const int fd =
         ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shared parsing helpers for fault-injection environment variables.
+ * Two subsystems read fault directives from the environment — the
+ * checkpoint writer (NISQPP_FAULT_INJECT=kill-after=N|tear-after=N)
+ * and the streaming fault layer (NISQPP_STREAM_FAULTS=drop=0.01,...)
+ * — and both follow the repository's env contract: a malformed value
+ * warns once, names the variable and the offending token, and leaves
+ * the configuration unchanged (warn-and-ignore), while the equivalent
+ * CLI flags fail hard. The directive splitting and the strict numeric
+ * parses live here so the two layers cannot drift apart.
+ */
+
+#ifndef NISQPP_COMMON_FAULT_ENV_HH
+#define NISQPP_COMMON_FAULT_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+namespace faultenv {
+
+/** One "key=value" fault directive. */
+struct Directive
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Split a comma-separated "k1=v1,k2=v2" directive list. Returns false
+ * (leaving @p out untouched beyond partial work) on any token without
+ * exactly one '=' between two non-empty sides; callers then apply the
+ * warn-and-ignore contract to the whole variable.
+ */
+inline bool
+splitDirectives(const std::string &text, std::vector<Directive> &out)
+{
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t comma = text.find(',', start);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string token = text.substr(start, comma - start);
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 == token.size() ||
+            token.find('=', eq + 1) != std::string::npos)
+            return false;
+        out.push_back({token.substr(0, eq), token.substr(eq + 1)});
+        start = comma + 1;
+    }
+    return true;
+}
+
+/** Strict positive-integer parse: the whole token must be digits. */
+inline bool
+parseCount(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty() ||
+        text.find_first_not_of("0123456789") != std::string::npos)
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < 1)
+        return false;
+    out = v;
+    return true;
+}
+
+/** Strict fraction parse: a finite double in [0, 1], no trailing junk. */
+inline bool
+parseRate(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (!end || end == text.c_str() || *end != '\0')
+        return false;
+    if (!(v >= 0.0) || !(v <= 1.0)) // NaN fails both comparisons
+        return false;
+    out = v;
+    return true;
+}
+
+/** Checkpoint-write fault modes (see src/ckpt/checkpoint.hh). */
+enum class WriteFaultMode
+{
+    None, ///< no fault injection
+    Kill, ///< finish the Nth write, then exit
+    Tear  ///< die mid-payload of the Nth write (no rename)
+};
+
+/** Parsed NISQPP_FAULT_INJECT plan. */
+struct WriteFaultPlan
+{
+    WriteFaultMode mode = WriteFaultMode::None;
+    std::uint64_t afterWrites = 0;
+};
+
+/**
+ * Parse @p var (default NISQPP_FAULT_INJECT) as
+ * "kill-after=N | tear-after=N". Warn-and-ignore: any malformed value
+ * warns and returns a disabled plan.
+ */
+inline WriteFaultPlan
+writeFaultPlanFromEnv(const char *var = "NISQPP_FAULT_INJECT")
+{
+    const char *env = std::getenv(var);
+    if (!env || !*env)
+        return {};
+    const std::string s(env);
+    WriteFaultPlan plan;
+    std::string count;
+    if (s.rfind("kill-after=", 0) == 0) {
+        plan.mode = WriteFaultMode::Kill;
+        count = s.substr(std::strlen("kill-after="));
+    } else if (s.rfind("tear-after=", 0) == 0) {
+        plan.mode = WriteFaultMode::Tear;
+        count = s.substr(std::strlen("tear-after="));
+    } else {
+        warn(std::string(var) + "='" + s +
+             "' not understood (want kill-after=N or tear-after=N); "
+             "fault injection disabled");
+        return {};
+    }
+    if (!parseCount(count, plan.afterWrites)) {
+        warn(std::string(var) + "='" + s +
+             "' needs a positive integer write count; "
+             "fault injection disabled");
+        return {};
+    }
+    return plan;
+}
+
+} // namespace faultenv
+} // namespace nisqpp
+
+#endif // NISQPP_COMMON_FAULT_ENV_HH

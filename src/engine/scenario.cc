@@ -167,6 +167,12 @@ scenarioRegistry()
          "mapping the accuracy vs latency vs escalation-rate frontier "
          "against pure-mesh and pure-software baselines",
          tieredDecode},
+        {"fault_sweep",
+         "fault-injected streaming decode: PL and latency vs fault "
+         "rate for each recovery policy (retransmit, carry-forward, "
+         "decode deadline, load shedding) against the fault-free "
+         "baseline",
+         faultSweep},
     };
     return registry;
 }
@@ -315,7 +321,10 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
           " [--seed S] [--batch N] [--format table|csv|json]"
           " [--metrics-out FILE] [--trace-out FILE]"
           " [--checkpoint FILE] [--checkpoint-interval N]"
-          " [--resume FILE] [--escalate-threshold X]";
+          " [--resume FILE] [--escalate-threshold X]"
+          " [--fault-drop X] [--fault-corrupt X] [--fault-dup X]"
+          " [--fault-delay X] [--fault-stall X] [--fault-fail X]"
+          " [--fault-seed S] [--deadline-ns X]";
     if (withScenario)
         os << " [--list]";
     os << " [--help]\n";
@@ -332,6 +341,14 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
           " --trials-scale.\n";
     os << "--escalate-threshold X pins tiered_decode to one confidence"
           " threshold in [0, 1]\ninstead of its default sweep.\n";
+    os << "--fault-drop/--fault-corrupt/--fault-dup/--fault-delay/"
+          "--fault-stall/--fault-fail\n(fractions in [0, 1]) and"
+          " --fault-seed S pin fault_sweep to one fault operating\n"
+          "point instead of its default rate grid; --deadline-ns X > 0"
+          " pins its per-round\ndecode deadline. NISQPP_STREAM_FAULTS"
+          " (env) is the warn-and-ignore twin\n"
+          "(drop=X,corrupt=X,dup=X,delay=X,stall=X,fail=X,seed=S,"
+          "delay-cycles=N,\nstall-factor=X).\n";
     os << "NISQPP_BATCH (env) / --batch N group N rounds per decode"
           " batch (1 = scalar;\nlane-packed mesh decoding otherwise;"
           " aggregates are identical either way).\n";
@@ -374,12 +391,25 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
     parsed.options.batchLanes = batchLanesFromEnv(1);
     parsed.options.checkpointInterval = ckpt::checkpointIntervalFromEnv(
         ckpt::kDefaultCheckpointInterval);
+    // Env twin first so explicit --fault-* flags override it. Read
+    // only here (the CLI path): in-process scenario runs — the golden
+    // net in particular — never see the environment.
+    if (faults::streamFaultsFromEnv(parsed.options.faultSpec))
+        parsed.options.faultGiven = true;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value = [&]() -> const char * {
             if (i + 1 >= argc)
                 fatal(arg + ": missing value");
             return argv[++i];
+        };
+        // Fraction-valued --fault-* flags share one parse contract.
+        auto faultRate = [&](double &slot) {
+            const double v = numericValue(arg, value());
+            if (!(v >= 0.0) || v > 1.0)
+                fatal(arg + ": expected a fraction in [0, 1]");
+            slot = v;
+            parsed.options.faultGiven = true;
         };
         if (arg == "--help" || arg == "-h") {
             parsed.helpOnly = true;
@@ -414,6 +444,35 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 fatal("--escalate-threshold: expected a fraction in "
                       "[0, 1]");
             parsed.options.escalateThreshold = v;
+        } else if (arg == "--fault-drop") {
+            faultRate(parsed.options.faultSpec.dropRate);
+        } else if (arg == "--fault-corrupt") {
+            faultRate(parsed.options.faultSpec.corruptRate);
+        } else if (arg == "--fault-dup") {
+            faultRate(parsed.options.faultSpec.duplicateRate);
+        } else if (arg == "--fault-delay") {
+            faultRate(parsed.options.faultSpec.delayRate);
+        } else if (arg == "--fault-stall") {
+            faultRate(parsed.options.faultSpec.stallRate);
+        } else if (arg == "--fault-fail") {
+            faultRate(parsed.options.faultSpec.decodeFailRate);
+        } else if (arg == "--fault-seed") {
+            const char *text = value();
+            char *end = nullptr;
+            errno = 0;
+            parsed.options.faultSpec.seed =
+                std::strtoull(text, &end, 0);
+            if (end == text || *end != '\0' || text[0] == '-' ||
+                errno == ERANGE)
+                fatal("--fault-seed: expected an unsigned 64-bit "
+                      "integer, got '" + std::string(text) + "'");
+            parsed.options.faultGiven = true;
+        } else if (arg == "--deadline-ns") {
+            const double v = numericValue(arg, value());
+            if (!(v > 0) || v > 1e9)
+                fatal("--deadline-ns: expected a positive number "
+                      "<= 1e9");
+            parsed.options.deadlineNs = v;
         } else if (arg == "--trials-scale") {
             const double v = numericValue(arg, value());
             if (!(v > 0) || v > kMaxTrialsMultiplier)

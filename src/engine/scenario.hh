@@ -18,6 +18,7 @@
 
 #include "common/table.hh"
 #include "engine/sweep.hh"
+#include "faults/fault_plan.hh"
 #include "obs/metrics.hh"
 
 namespace nisqpp {
@@ -64,6 +65,20 @@ struct RunOptions
      * sweep. Negative = not given.
      */
     double escalateThreshold = -1.0;
+    /**
+     * --fault-drop/--fault-corrupt/--fault-dup/--fault-delay/
+     * --fault-stall/--fault-fail/--fault-seed (or the
+     * NISQPP_STREAM_FAULTS env twin): pin the fault_sweep scenario to
+     * one fault operating point instead of its default rate grid.
+     * faultGiven marks that any of them was set.
+     */
+    faults::FaultSpec faultSpec;
+    bool faultGiven = false;
+    /**
+     * --deadline-ns X > 0: pin fault_sweep's deadline policy to this
+     * per-round decode budget. 0 = not given (scenario default).
+     */
+    double deadlineNs = 0.0;
 };
 
 /**
@@ -94,6 +109,16 @@ class ScenarioContext
     {
         return options_.escalateThreshold;
     }
+
+    /** --fault-* (or NISQPP_STREAM_FAULTS) spec when given, else null. */
+    const faults::FaultSpec *
+    faultOverride() const
+    {
+        return options_.faultGiven ? &options_.faultSpec : nullptr;
+    }
+
+    /** --deadline-ns when given, else 0 (use scenario defaults). */
+    double deadlineNs() const { return options_.deadlineNs; }
 
     /** Narrative line; printed in table mode only. */
     void note(const std::string &line);

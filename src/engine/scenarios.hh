@@ -46,6 +46,9 @@ void noiseZoo(ScenarioContext &ctx);
 /** Tiered mesh-first decoding frontier (scenarios_tiered.cc). */
 void tieredDecode(ScenarioContext &ctx);
 
+/** Fault-injected streaming degradation (scenarios_faults.cc). */
+void faultSweep(ScenarioContext &ctx);
+
 } // namespace scenarios
 } // namespace nisqpp
 

@@ -143,6 +143,7 @@ stageName(Stage stage)
       case Stage::StreamProduce: return "stream_produce";
       case Stage::StreamDecode: return "stream_decode";
       case Stage::StreamCommit: return "stream_commit";
+      case Stage::StreamRecover: return "stream_recover";
       case Stage::Count: break;
     }
     return "unknown";

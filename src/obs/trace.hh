@@ -33,6 +33,7 @@ enum class Stage : int {
     StreamProduce, ///< syndrome emission in runStream
     StreamDecode,  ///< decode call in runStream
     StreamCommit,  ///< correction apply + parity in runStream
+    StreamRecover, ///< transport-fault recovery in runStream
     Count
 };
 

@@ -26,6 +26,12 @@ struct StreamRound
     std::size_t round = 0;  ///< producer round index (FIFO key)
     double arriveNs = 0.0;  ///< simulated clock at production
     double serviceNs = 0.0; ///< modeled decode time for this round
+    /**
+     * Second delivery of an already-queued round (fault injection):
+     * the consumer discards it by sequence number, so it occupies a
+     * queue slot but contributes no completion or sojourn statistics.
+     */
+    bool duplicate = false;
 };
 
 /**
@@ -75,6 +81,12 @@ class StreamQueue
     front() const
     {
         require(!empty(), "StreamQueue::front on empty queue");
+        // Spilled rounds only exist while the ring is full, so a
+        // non-empty queue always has its oldest round in the ring; a
+        // violation would silently read a stale ring slot.
+        NISQPP_DCHECK(count_ > 0,
+                      "StreamQueue::front: spill held rounds while the "
+                      "fast ring was empty");
         return ring_[head_];
     }
 
@@ -83,6 +95,9 @@ class StreamQueue
     pop()
     {
         require(!empty(), "StreamQueue::pop on empty queue");
+        NISQPP_DCHECK(count_ > 0,
+                      "StreamQueue::pop: spill held rounds while the "
+                      "fast ring was empty");
         head_ = (head_ + 1) % capacity_;
         --count_;
         if (spillCount() > 0) {

@@ -52,6 +52,33 @@ runStream(const StreamConfig &config, Decoder &decoder,
                 "runStream: measurement noise requires windowRounds "
                 "> 0 (per-round decoding cannot see readout flips)");
 
+    // Fault injection and recovery are a strict superset of the fault-
+    // free pipeline: when neither is active the code below takes
+    // exactly the pre-fault path (no extra RNG draws, no stream.fault.*
+    // metric keys), keeping fault-free runs byte-identical to the
+    // goldens that predate this layer.
+    const bool faultsActive =
+        config.faults.any() || config.recovery.active();
+    std::unique_ptr<faults::FaultPlan> plan;
+    std::unique_ptr<Syndrome> corruptScratch;
+    std::unique_ptr<Syndrome> lastGood;
+    bool lastGoodValid = false;
+    double pendingMergeNs = 0.0;
+    if (faultsActive) {
+        require(w == 0,
+                "runStream: fault injection and recovery policies "
+                "require the per-round pipeline (windowRounds == 0)");
+        config.recovery.validate();
+        plan = std::make_unique<faults::FaultPlan>(
+            config.faults,
+            static_cast<std::uint32_t>(
+                config.lattice->numAncilla(ErrorType::Z)));
+        corruptScratch =
+            std::make_unique<Syndrome>(*config.lattice, ErrorType::Z);
+        lastGood =
+            std::make_unique<Syndrome>(*config.lattice, ErrorType::Z);
+    }
+
     const NoiseModel model = NoiseModel::dephasing(
         config.physicalRate, config.measurementFlipRate);
     SyndromeStream stream(*config.lattice, model, ErrorType::Z,
@@ -93,7 +120,10 @@ runStream(const StreamConfig &config, Decoder &decoder,
     // is pre-applied, the final correction lands the state on the
     // provisional frame, and the repair is then applied on top — and
     // the tiered escalation/repair/frame-flip counters accrue here.
-    auto commitCorrection = [&]() {
+    // With @p provisionalOnly (a decode deadline fired) the commit
+    // stops on the provisional frame: the exact tier's repair is
+    // abandoned, so the repair counters do not accrue.
+    auto commitCorrection = [&](bool provisionalOnly) {
         const TieredDecodeStats *ts = decoder.tieredStats();
         if (ts && ts->escalated)
             ++result.escalations;
@@ -106,6 +136,8 @@ runStream(const StreamConfig &config, Decoder &decoder,
         workspace->correction.applyTo(stream.state(), ErrorType::Z);
         const bool provisionalParity =
             crossingParity(stream.state(), ErrorType::Z);
+        if (provisionalOnly)
+            return provisionalParity;
         for (int d : ts->repairFlips)
             stream.state().flip(ErrorType::Z, d);
         const bool repairedParity =
@@ -127,11 +159,20 @@ runStream(const StreamConfig &config, Decoder &decoder,
         const StreamRound &entry = queue.front();
         const double start = std::max(consumerFreeNs, entry.arriveNs);
         const double done = start + entry.serviceNs;
+        if (done < consumerFreeNs)
+            result.clockMonotone = false;
         consumerFreeNs = done;
-        result.sojournNs.add(done - entry.arriveNs);
-        if (done <= endOfProduction)
-            ++completedByEnd;
-        ++completed;
+        if (entry.duplicate) {
+            // Second delivery of a round already handled: discarded by
+            // sequence number, so it completes nothing and its queue
+            // residence is not a sojourn.
+            ++result.faults.dedupRounds;
+        } else {
+            result.sojournNs.add(done - entry.arriveNs);
+            if (done <= endOfProduction)
+                ++completedByEnd;
+            ++completed;
+        }
         queue.pop();
         return done;
     };
@@ -161,8 +202,159 @@ runStream(const StreamConfig &config, Decoder &decoder,
         }
         const Syndrome &syndrome = *produced;
         double serviceNs = 0.0;
+        double arriveNs = tArrive;
         bool decoded = false;
-        if (w == 0) {
+        bool duplicated = false;
+        if (w == 0 && faultsActive) {
+            const faults::RoundFaults rf = plan->eventFor(k);
+            const faults::RecoveryPolicy &policy = config.recovery;
+            faults::FaultCounts &fc = result.faults;
+
+            if (rf.delayCycles > 0) {
+                ++fc.delays;
+                arriveNs += static_cast<double>(rf.delayCycles) * cycle;
+            }
+
+            // Transport outcome for round k's delivery.
+            bool carried = false;   // decode the last clean frame
+            bool lost = false;      // no decode at all
+            bool corrupted = false; // decode the corrupted copy
+            if (rf.transportFault()) {
+                if (rf.dropped)
+                    ++fc.drops;
+                else
+                    ++fc.corruptions;
+                const int attempts = rf.retransmitsNeeded + 1;
+                if (policy.parityRetransmit &&
+                    attempts <= policy.maxRetransmits) {
+                    // Parity caught the fault; bounded re-requests are
+                    // paid in virtual ns with linear backoff (attempt
+                    // i costs i * retransmitNs), then the clean round
+                    // arrives.
+                    obs::TraceSpan span(obs::Stage::StreamRecover);
+                    fc.retransmits +=
+                        static_cast<std::uint64_t>(attempts);
+                    for (int i = 1; i <= attempts; ++i)
+                        arriveNs += static_cast<double>(i) *
+                                    policy.retransmitNs;
+                } else if (rf.dropped || policy.parityRetransmit) {
+                    // A drop, or a corruption parity caught but could
+                    // not recover within the re-request budget.
+                    if (policy.carryForward && lastGoodValid)
+                        carried = true;
+                    else
+                        lost = true;
+                } else {
+                    // No parity protection: the corruption is silent
+                    // and the consumer decodes the corrupted round.
+                    corrupted = true;
+                }
+            }
+            // Only delivered rounds can arrive twice.
+            duplicated = rf.duplicated && !lost && !carried;
+            if (duplicated)
+                ++fc.duplicates;
+
+            // Load shedding: above the backlog threshold the consumer
+            // refuses the decode. The lifetime syndrome is cumulative,
+            // so the next decoded round supersedes a shed one's
+            // information — DropOldest discards it outright, XorMerge
+            // folds it into the next decode for a small surcharge.
+            bool shed = false;
+            bool mergedRound = false;
+            if (!lost && policy.shedThreshold > 0 &&
+                queue.depth() >= policy.shedThreshold) {
+                if (policy.shedMode == faults::ShedMode::DropOldest) {
+                    shed = true;
+                    ++fc.shedRounds;
+                } else {
+                    mergedRound = true;
+                    ++fc.mergedRounds;
+                    pendingMergeNs += policy.mergeNs;
+                }
+            }
+
+            if (lost) {
+                ++fc.lostRounds;
+                if (observer && *observer)
+                    (*observer)(k, syndrome, emptyCorrection);
+            } else if (shed || mergedRound) {
+                if (observer && *observer)
+                    (*observer)(k, syndrome, emptyCorrection);
+            } else {
+                const Syndrome *toDecode = &syndrome;
+                if (carried) {
+                    obs::TraceSpan span(obs::Stage::StreamRecover);
+                    toDecode = lastGood.get();
+                    ++fc.carriedForward;
+                } else {
+                    if (corrupted) {
+                        *corruptScratch = syndrome;
+                        for (int i = 0; i < rf.corruptBits; ++i)
+                            corruptScratch->flip(static_cast<int>(
+                                rf.corruptAncilla
+                                    [static_cast<std::size_t>(i)]));
+                        toDecode = corruptScratch.get();
+                        ++fc.corruptDecodes;
+                    } else if (policy.carryForward) {
+                        *lastGood = syndrome;
+                        lastGoodValid = true;
+                    }
+                    ++fc.decodedRounds;
+                }
+                {
+                    obs::TraceSpan decodeSpan(obs::Stage::StreamDecode);
+                    decoder.decode(*toDecode, *workspace);
+                }
+                serviceNs = withEscalation(config.latency.decodeNs(
+                    decoder.meshStats(), toDecode->weight()));
+                if (pendingMergeNs > 0.0) {
+                    serviceNs += pendingMergeNs;
+                    pendingMergeNs = 0.0;
+                }
+                if (rf.stallFactor != 1.0) {
+                    ++fc.stalls;
+                    serviceNs *= rf.stallFactor;
+                }
+                bool provisionalOnly = false;
+                if (policy.deadlineNs > 0.0 &&
+                    serviceNs > policy.deadlineNs) {
+                    // Deadline miss: an escalated tiered decode
+                    // commits its provisional mesh answer instead of
+                    // waiting out the exact tier; anything else just
+                    // has its modeled service clamped to the budget.
+                    const TieredDecodeStats *ts = decoder.tieredStats();
+                    if (ts && ts->escalated) {
+                        provisionalOnly = true;
+                        ++fc.deadlineCommits;
+                    } else {
+                        ++fc.deadlineClamps;
+                    }
+                    serviceNs = policy.deadlineNs;
+                }
+                if (rf.decodeFailed) {
+                    // Transient decode failure: the service time is
+                    // paid but no correction lands; the residual
+                    // errors stay for the next round's decode.
+                    ++fc.decodeFailures;
+                    if (observer && *observer)
+                        (*observer)(k, syndrome, emptyCorrection);
+                } else {
+                    bool nowParity;
+                    {
+                        obs::TraceSpan commitSpan(
+                            obs::Stage::StreamCommit);
+                        nowParity = commitCorrection(provisionalOnly);
+                    }
+                    if (nowParity != parity)
+                        ++result.failures;
+                    parity = nowParity;
+                    if (observer && *observer)
+                        (*observer)(k, syndrome, workspace->correction);
+                }
+                decoded = true;
+            }
+        } else if (w == 0) {
             {
                 obs::TraceSpan decodeSpan(obs::Stage::StreamDecode);
                 decoder.decode(syndrome, *workspace);
@@ -170,7 +362,7 @@ runStream(const StreamConfig &config, Decoder &decoder,
             bool nowParity;
             {
                 obs::TraceSpan commitSpan(obs::Stage::StreamCommit);
-                nowParity = commitCorrection();
+                nowParity = commitCorrection(false);
             }
             if (nowParity != parity)
                 ++result.failures;
@@ -198,7 +390,7 @@ runStream(const StreamConfig &config, Decoder &decoder,
                     obs::TraceSpan commitSpan(
                         obs::Stage::StreamCommit);
                     ++result.windows;
-                    nowParity = commitCorrection();
+                    nowParity = commitCorrection(false);
                 }
                 if (nowParity != parity)
                     ++result.failures;
@@ -228,7 +420,9 @@ runStream(const StreamConfig &config, Decoder &decoder,
                 static_cast<std::size_t>(std::llround(serviceNs)));
         }
 
-        queue.push({k, tArrive, serviceNs});
+        queue.push({k, arriveNs, serviceNs, false});
+        if (duplicated)
+            queue.push({k, arriveNs, 0.0, true});
         ++result.rounds;
 
         const std::size_t backlog = (k + 1) - completed;
@@ -290,6 +484,35 @@ runStream(const StreamConfig &config, Decoder &decoder,
         result.metrics.add("stream.tiered.repairs", result.repairs);
         result.metrics.add("stream.tiered.frame_flips",
                            result.repairFrameFlips);
+    }
+    // stream.fault.* keys exist only on fault/recovery-active runs so
+    // fault-free metric reports (and every pre-fault golden) keep
+    // their exact key set.
+    if (faultsActive) {
+        const faults::FaultCounts &fc = result.faults;
+        result.metrics.add("stream.fault.drops", fc.drops);
+        result.metrics.add("stream.fault.corruptions", fc.corruptions);
+        result.metrics.add("stream.fault.duplicates", fc.duplicates);
+        result.metrics.add("stream.fault.delays", fc.delays);
+        result.metrics.add("stream.fault.stalls", fc.stalls);
+        result.metrics.add("stream.fault.decode_failures",
+                           fc.decodeFailures);
+        result.metrics.add("stream.fault.retransmits", fc.retransmits);
+        result.metrics.add("stream.fault.carried_forward",
+                           fc.carriedForward);
+        result.metrics.add("stream.fault.lost_rounds", fc.lostRounds);
+        result.metrics.add("stream.fault.corrupt_decodes",
+                           fc.corruptDecodes);
+        result.metrics.add("stream.fault.deadline_commits",
+                           fc.deadlineCommits);
+        result.metrics.add("stream.fault.deadline_clamps",
+                           fc.deadlineClamps);
+        result.metrics.add("stream.fault.shed_rounds", fc.shedRounds);
+        result.metrics.add("stream.fault.merged_rounds",
+                           fc.mergedRounds);
+        result.metrics.add("stream.fault.dedup_rounds", fc.dedupRounds);
+        result.metrics.add("stream.fault.decoded_rounds",
+                           fc.decodedRounds);
     }
     decoder.exportMetrics(result.metrics);
     return result;

@@ -21,6 +21,7 @@
 
 #include "common/stats.hh"
 #include "decoders/decoder.hh"
+#include "faults/fault_plan.hh"
 #include "obs/metrics.hh"
 #include "stream/latency_model.hh"
 #include "stream/telemetry.hh"
@@ -53,6 +54,18 @@ struct StreamConfig
     StreamLatencyModel latency;
     /** Backlog trajectory sample count over the horizon (>= 2). */
     std::size_t trajectorySamples = 32;
+
+    /**
+     * Seeded fault injection striking transport and consumer (all-zero
+     * = fault-free), and the recovery/degradation policy answering it.
+     * Both default-inactive; a run with neither active takes exactly
+     * the fault-free code path (no extra RNG draws, no fault metrics),
+     * so existing goldens are untouched. Fault injection requires the
+     * per-round pipeline (windowRounds == 0). @{
+     */
+    faults::FaultSpec faults;
+    faults::RecoveryPolicy recovery;
+    /** @} */
 };
 
 /** Aggregates and telemetry of one streaming run. */
@@ -112,6 +125,20 @@ struct StreamingResult
     double fEmpirical = 0.0;
 
     std::vector<BacklogSample> trajectory;
+
+    /**
+     * Fault/recovery ledger (all-zero on fault-free runs). The
+     * conservation invariant the torture harness asserts:
+     * rounds == decodedRounds + carriedForward + lostRounds +
+     * shedRounds + mergedRounds, with dedupRounds == duplicates.
+     */
+    faults::FaultCounts faults;
+    /**
+     * Virtual-clock sanity: completion times never ran backwards.
+     * Always true by construction; asserted per completion so the
+     * torture harness pins the property rather than assuming it.
+     */
+    bool clockMonotone = true;
 
     /**
      * Deterministic stream.* counters (rounds, windows, failures,

@@ -84,6 +84,43 @@ check_cli(escalate_missing_value FALSE ERR
           "--escalate-threshold: missing value"
           tiered_decode --escalate-threshold)
 
+# Fault-injection flags fail hard at parse time (the
+# NISQPP_STREAM_FAULTS env path warns and disables instead; covered by
+# tests/common/test_fault_env.cc). All six rate flags share one parse
+# contract, so one flag's rejection cases cover the family.
+check_cli(bad_fault_rate_above_one FALSE ERR
+          "--fault-drop: expected a fraction in \\[0, 1\\]"
+          fault_sweep --fault-drop 1.5)
+check_cli(bad_fault_rate_negative FALSE ERR
+          "--fault-corrupt: expected a fraction in \\[0, 1\\]"
+          fault_sweep --fault-corrupt -0.1)
+check_cli(bad_fault_rate_junk FALSE ERR
+          "--fault-drop: expected a number"
+          fault_sweep --fault-drop abc)
+check_cli(fault_rate_missing_value FALSE ERR
+          "--fault-stall: missing value"
+          fault_sweep --fault-stall)
+check_cli(bad_fault_seed_negative FALSE ERR
+          "--fault-seed: expected an unsigned 64-bit integer"
+          fault_sweep --fault-seed -1)
+check_cli(bad_fault_seed_junk FALSE ERR
+          "--fault-seed: expected an unsigned 64-bit integer"
+          fault_sweep --fault-seed 12nope)
+check_cli(bad_deadline_zero FALSE ERR
+          "--deadline-ns: expected a positive number"
+          fault_sweep --deadline-ns 0)
+check_cli(bad_deadline_negative FALSE ERR
+          "--deadline-ns: expected a positive number"
+          fault_sweep --deadline-ns -5)
+check_cli(bad_deadline_junk FALSE ERR
+          "--deadline-ns: expected a number"
+          fault_sweep --deadline-ns soon)
+
+# Pinning flags collapse fault_sweep's rate grid to one labeled point.
+check_cli(fault_pin_happy TRUE OUT "pinned"
+          fault_sweep --trials-scale 0.02 --format csv
+          --fault-drop 0.1 --fault-seed 7 --deadline-ns 700)
+
 # Bad --batch values are rejected at the flag level (the NISQPP_BATCH
 # env path warns and keeps the previous setting instead; covered by
 # tests/engine/test_batch_env.cc).

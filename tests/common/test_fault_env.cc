@@ -1,0 +1,191 @@
+/**
+ * @file Shared fault-directive env parsing: the strict token parsers,
+ * the NISQPP_FAULT_INJECT write-fault plan and the
+ * NISQPP_STREAM_FAULTS spec twin all follow the warn-and-ignore
+ * contract (malformed value -> warning, configuration untouched).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/fault_env.hh"
+#include "faults/fault_plan.hh"
+
+namespace nisqpp {
+namespace {
+
+/** Scoped env override restoring the prior value (ckpt-test idiom). */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        const char *prior = std::getenv(name);
+        if (prior) {
+            saved_ = prior;
+            hadValue_ = true;
+        }
+        if (value)
+            setenv(name, value, 1);
+        else
+            unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (hadValue_)
+            setenv(name_.c_str(), saved_.c_str(), 1);
+        else
+            unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string saved_;
+    bool hadValue_ = false;
+};
+
+TEST(FaultEnvSplit, WellFormedListSplits)
+{
+    std::vector<faultenv::Directive> out;
+    ASSERT_TRUE(faultenv::splitDirectives("a=1,bb=0.5,c=x", out));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].key, "a");
+    EXPECT_EQ(out[0].value, "1");
+    EXPECT_EQ(out[1].key, "bb");
+    EXPECT_EQ(out[1].value, "0.5");
+    EXPECT_EQ(out[2].key, "c");
+    EXPECT_EQ(out[2].value, "x");
+}
+
+TEST(FaultEnvSplit, MalformedTokensRejected)
+{
+    std::vector<faultenv::Directive> out;
+    EXPECT_FALSE(faultenv::splitDirectives("", out));
+    EXPECT_FALSE(faultenv::splitDirectives("noequals", out));
+    EXPECT_FALSE(faultenv::splitDirectives("=1", out));
+    EXPECT_FALSE(faultenv::splitDirectives("a=", out));
+    EXPECT_FALSE(faultenv::splitDirectives("a=1=2", out));
+    EXPECT_FALSE(faultenv::splitDirectives("a=1,,b=2", out));
+    EXPECT_FALSE(faultenv::splitDirectives("a=1,b=2,", out));
+}
+
+TEST(FaultEnvParse, CountIsStrictDigitsOnly)
+{
+    std::uint64_t v = 0;
+    EXPECT_TRUE(faultenv::parseCount("7", v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_TRUE(faultenv::parseCount("1000000", v));
+    EXPECT_EQ(v, 1000000u);
+    EXPECT_FALSE(faultenv::parseCount("", v));
+    EXPECT_FALSE(faultenv::parseCount("0", v));
+    EXPECT_FALSE(faultenv::parseCount("-3", v));
+    EXPECT_FALSE(faultenv::parseCount("3.5", v));
+    EXPECT_FALSE(faultenv::parseCount("12x", v));
+    EXPECT_FALSE(faultenv::parseCount(" 4", v));
+}
+
+TEST(FaultEnvParse, RateIsStrictUnitInterval)
+{
+    double v = -1.0;
+    EXPECT_TRUE(faultenv::parseRate("0", v));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+    EXPECT_TRUE(faultenv::parseRate("0.25", v));
+    EXPECT_DOUBLE_EQ(v, 0.25);
+    EXPECT_TRUE(faultenv::parseRate("1", v));
+    EXPECT_DOUBLE_EQ(v, 1.0);
+    EXPECT_TRUE(faultenv::parseRate("1e-2", v));
+    EXPECT_DOUBLE_EQ(v, 0.01);
+    EXPECT_FALSE(faultenv::parseRate("", v));
+    EXPECT_FALSE(faultenv::parseRate("1.5", v));
+    EXPECT_FALSE(faultenv::parseRate("-0.1", v));
+    EXPECT_FALSE(faultenv::parseRate("nan", v));
+    EXPECT_FALSE(faultenv::parseRate("inf", v));
+    EXPECT_FALSE(faultenv::parseRate("0.5x", v));
+}
+
+TEST(WriteFaultEnv, ParsesKillAndTear)
+{
+    {
+        ScopedEnv env("NISQPP_FAULT_INJECT", "kill-after=3");
+        const faultenv::WriteFaultPlan plan =
+            faultenv::writeFaultPlanFromEnv();
+        EXPECT_EQ(plan.mode, faultenv::WriteFaultMode::Kill);
+        EXPECT_EQ(plan.afterWrites, 3u);
+    }
+    {
+        ScopedEnv env("NISQPP_FAULT_INJECT", "tear-after=12");
+        const faultenv::WriteFaultPlan plan =
+            faultenv::writeFaultPlanFromEnv();
+        EXPECT_EQ(plan.mode, faultenv::WriteFaultMode::Tear);
+        EXPECT_EQ(plan.afterWrites, 12u);
+    }
+}
+
+TEST(WriteFaultEnv, UnsetOrMalformedDisables)
+{
+    const char *bad[] = {"explode-after=3", "kill-after=",
+                         "kill-after=0",    "kill-after=2.5",
+                         "kill-after=9x",   "tear-after=-1"};
+    {
+        ScopedEnv env("NISQPP_FAULT_INJECT", nullptr);
+        EXPECT_EQ(faultenv::writeFaultPlanFromEnv().mode,
+                  faultenv::WriteFaultMode::None);
+    }
+    for (const char *value : bad) {
+        ScopedEnv env("NISQPP_FAULT_INJECT", value);
+        const faultenv::WriteFaultPlan plan =
+            faultenv::writeFaultPlanFromEnv();
+        EXPECT_EQ(plan.mode, faultenv::WriteFaultMode::None) << value;
+        EXPECT_EQ(plan.afterWrites, 0u) << value;
+    }
+}
+
+TEST(StreamFaultEnv, UnsetLeavesSpecAndReportsAbsent)
+{
+    ScopedEnv env("NISQPP_STREAM_FAULTS", nullptr);
+    faults::FaultSpec spec;
+    EXPECT_FALSE(faults::streamFaultsFromEnv(spec));
+    EXPECT_FALSE(spec.any());
+}
+
+TEST(StreamFaultEnv, WellFormedListUpdatesEveryKnob)
+{
+    ScopedEnv env("NISQPP_STREAM_FAULTS",
+                  "drop=0.1,corrupt=0.05,dup=0.02,delay=0.2,"
+                  "delay-cycles=5,stall=0.3,stall-factor=2.5,"
+                  "fail=0.01,seed=99");
+    faults::FaultSpec spec;
+    ASSERT_TRUE(faults::streamFaultsFromEnv(spec));
+    EXPECT_DOUBLE_EQ(spec.dropRate, 0.1);
+    EXPECT_DOUBLE_EQ(spec.corruptRate, 0.05);
+    EXPECT_DOUBLE_EQ(spec.duplicateRate, 0.02);
+    EXPECT_DOUBLE_EQ(spec.delayRate, 0.2);
+    EXPECT_EQ(spec.delayCycles, 5);
+    EXPECT_DOUBLE_EQ(spec.stallRate, 0.3);
+    EXPECT_DOUBLE_EQ(spec.stallFactor, 2.5);
+    EXPECT_DOUBLE_EQ(spec.decodeFailRate, 0.01);
+    EXPECT_EQ(spec.seed, 99u);
+}
+
+TEST(StreamFaultEnv, MalformedDirectiveLeavesSpecUntouched)
+{
+    // Two-phase apply: the good leading directive must not land when a
+    // later one is bad (half-applied env vars are worse than ignored).
+    const char *bad[] = {"drop=0.1,corrupt=2.0", "drop=abc",
+                         "unknown=0.1",          "drop",
+                         "delay-cycles=0",       "stall-factor=0.5",
+                         "seed=0"};
+    for (const char *value : bad) {
+        ScopedEnv env("NISQPP_STREAM_FAULTS", value);
+        faults::FaultSpec spec;
+        EXPECT_FALSE(faults::streamFaultsFromEnv(spec)) << value;
+        EXPECT_FALSE(spec.any()) << value;
+        EXPECT_EQ(spec.seed, faults::FaultSpec{}.seed) << value;
+    }
+}
+
+} // namespace
+} // namespace nisqpp

@@ -18,6 +18,7 @@ TEST(ScenarioRegistry, ContainsEveryFigureAndTable)
         "table3_synthesis", "table4_latency", "table5_fit",
         "micro_decoders",  "micro_hotpath",  "streaming_backlog",
         "fig10_measurement", "noise_zoo",    "tiered_decode",
+        "fault_sweep",
     };
     EXPECT_EQ(scenarioRegistry().size(), std::size(expected));
     for (const char *name : expected) {

@@ -1,0 +1,183 @@
+/**
+ * @file Unit tests of the seeded fault plan: purity (random-access
+ * determinism), rate edge cases, corrupt-target bounds, the bounded
+ * retransmit geometric, and the spec/policy validation panics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.hh"
+
+namespace nisqpp {
+namespace faults {
+namespace {
+
+FaultSpec
+allChannels(double rate)
+{
+    FaultSpec spec;
+    spec.dropRate = rate;
+    spec.corruptRate = rate;
+    spec.duplicateRate = rate;
+    spec.delayRate = rate;
+    spec.stallRate = rate;
+    spec.decodeFailRate = rate;
+    return spec;
+}
+
+bool
+sameFaults(const RoundFaults &a, const RoundFaults &b)
+{
+    return a.dropped == b.dropped && a.corruptBits == b.corruptBits &&
+           a.corruptAncilla == b.corruptAncilla &&
+           a.duplicated == b.duplicated &&
+           a.delayCycles == b.delayCycles &&
+           a.retransmitsNeeded == b.retransmitsNeeded &&
+           a.stallFactor == b.stallFactor &&
+           a.decodeFailed == b.decodeFailed;
+}
+
+TEST(FaultPlan, EventForIsPureAndRandomAccess)
+{
+    const FaultSpec spec = allChannels(0.3);
+    FaultPlan plan(spec, 12);
+    FaultPlan twin(spec, 12);
+    // Same (spec, round) -> identical faults, in any evaluation order.
+    for (std::uint64_t round : {907ULL, 0ULL, 31ULL, 907ULL}) {
+        const RoundFaults a = plan.eventFor(round);
+        const RoundFaults b = twin.eventFor(round);
+        EXPECT_TRUE(sameFaults(a, b)) << "round " << round;
+        EXPECT_TRUE(sameFaults(a, plan.eventFor(round)));
+    }
+}
+
+TEST(FaultPlan, DifferentSeedsGiveDifferentStreams)
+{
+    FaultSpec a = allChannels(0.5);
+    FaultSpec b = a;
+    b.seed = a.seed + 1;
+    FaultPlan planA(a, 12), planB(b, 12);
+    int differing = 0;
+    for (std::uint64_t k = 0; k < 64; ++k)
+        if (!sameFaults(planA.eventFor(k), planB.eventFor(k)))
+            ++differing;
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultPlan, ZeroRatesNeverFault)
+{
+    FaultPlan plan(FaultSpec{}, 12);
+    for (std::uint64_t k = 0; k < 256; ++k) {
+        const RoundFaults f = plan.eventFor(k);
+        EXPECT_FALSE(f.anyFault()) << "round " << k;
+        EXPECT_EQ(f.retransmitsNeeded, 0);
+    }
+    EXPECT_FALSE(FaultSpec{}.any());
+}
+
+TEST(FaultPlan, CertainDropAlwaysDropsAndCapsRetransmits)
+{
+    FaultSpec spec;
+    spec.dropRate = 1.0;
+    FaultPlan plan(spec, 12);
+    for (std::uint64_t k = 0; k < 128; ++k) {
+        const RoundFaults f = plan.eventFor(k);
+        EXPECT_TRUE(f.dropped);
+        // A dropped round never also reports corruption targets.
+        EXPECT_EQ(f.corruptBits, 0);
+        EXPECT_LE(f.retransmitsNeeded, kRetryCap);
+    }
+}
+
+TEST(FaultPlan, CorruptTargetsStayInBounds)
+{
+    FaultSpec spec;
+    spec.corruptRate = 1.0;
+    const std::uint32_t ancilla = 7;
+    FaultPlan plan(spec, ancilla);
+    for (std::uint64_t k = 0; k < 256; ++k) {
+        const RoundFaults f = plan.eventFor(k);
+        ASSERT_GE(f.corruptBits, 1);
+        ASSERT_LE(f.corruptBits, kMaxCorruptBits);
+        for (int i = 0; i < f.corruptBits; ++i)
+            EXPECT_LT(f.corruptAncilla[static_cast<std::size_t>(i)],
+                      ancilla);
+        EXPECT_TRUE(f.transportFault());
+    }
+}
+
+TEST(FaultPlan, CleanTransportNeedsNoRetransmits)
+{
+    // Stall/delay/duplicate faults are not transport losses: the
+    // retransmit geometric must stay untouched for them.
+    FaultSpec spec;
+    spec.delayRate = 1.0;
+    spec.stallRate = 1.0;
+    spec.duplicateRate = 1.0;
+    FaultPlan plan(spec, 12);
+    for (std::uint64_t k = 0; k < 64; ++k) {
+        const RoundFaults f = plan.eventFor(k);
+        EXPECT_FALSE(f.transportFault());
+        EXPECT_EQ(f.retransmitsNeeded, 0);
+        EXPECT_EQ(f.delayCycles, spec.delayCycles);
+        EXPECT_DOUBLE_EQ(f.stallFactor, spec.stallFactor);
+        EXPECT_TRUE(f.duplicated);
+    }
+}
+
+TEST(FaultPlanDeath, ValidationPanicsOnBadSpecs)
+{
+    FaultSpec negative;
+    negative.dropRate = -0.1;
+    EXPECT_DEATH(FaultPlan(negative, 12), "dropRate");
+
+    FaultSpec overUnity;
+    overUnity.stallRate = 1.5;
+    EXPECT_DEATH(FaultPlan(overUnity, 12), "stallRate");
+
+    FaultSpec badShape;
+    badShape.stallFactor = 0.5;
+    EXPECT_DEATH(FaultPlan(badShape, 12), "stallFactor");
+
+    FaultSpec badDelay;
+    badDelay.delayCycles = 0;
+    EXPECT_DEATH(FaultPlan(badDelay, 12), "delayCycles");
+
+    EXPECT_DEATH(FaultPlan(FaultSpec{}, 0), "non-empty syndrome");
+}
+
+TEST(RecoveryPolicyDeath, ValidationPanicsOnNegativeCosts)
+{
+    RecoveryPolicy negativeBackoff;
+    negativeBackoff.retransmitNs = -1.0;
+    EXPECT_DEATH(negativeBackoff.validate(), "retransmitNs");
+
+    RecoveryPolicy negativeDeadline;
+    negativeDeadline.deadlineNs = -5.0;
+    EXPECT_DEATH(negativeDeadline.validate(), "deadlineNs");
+
+    RecoveryPolicy negativeMerge;
+    negativeMerge.mergeNs = -0.5;
+    EXPECT_DEATH(negativeMerge.validate(), "mergeNs");
+}
+
+TEST(RecoveryPolicy, ActiveReflectsEveryMechanism)
+{
+    EXPECT_FALSE(RecoveryPolicy{}.active());
+    RecoveryPolicy p;
+    p.parityRetransmit = true;
+    EXPECT_TRUE(p.active());
+    p = RecoveryPolicy{};
+    p.carryForward = true;
+    EXPECT_TRUE(p.active());
+    p = RecoveryPolicy{};
+    p.deadlineNs = 500.0;
+    EXPECT_TRUE(p.active());
+    p = RecoveryPolicy{};
+    p.shedThreshold = 8;
+    EXPECT_TRUE(p.active());
+}
+
+} // namespace
+} // namespace faults
+} // namespace nisqpp

@@ -70,6 +70,52 @@ TEST(StreamQueue, InterleavedPushPopPromotesSpill)
     EXPECT_EQ(expect, next);
 }
 
+TEST(StreamQueue, SpillCompactionPreservesFifo)
+{
+    // Drive spillHead_ past the 1024-entry reclaim trigger: with 4000
+    // spilled rounds, the consumed-prefix erase fires mid-drain (once
+    // the consumed prefix dominates the buffer) and must not disturb
+    // global round order or the depth/overflow accounting.
+    StreamQueue q(2);
+    const std::size_t total = 4002;
+    for (std::size_t k = 0; k < total; ++k)
+        q.push({k, static_cast<double>(k), 1.0});
+    EXPECT_EQ(q.spillDepth(), total - 2);
+    EXPECT_EQ(q.overflowCount(), total - 2);
+    for (std::size_t k = 0; k < total; ++k) {
+        ASSERT_FALSE(q.empty());
+        ASSERT_EQ(q.front().round, k);
+        ASSERT_DOUBLE_EQ(q.front().arriveNs, static_cast<double>(k));
+        ASSERT_EQ(q.depth(), total - k);
+        q.pop();
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.overflowCount(), total - 2);
+}
+
+TEST(StreamQueue, SpillCompactionSurvivesInterleavedTraffic)
+{
+    // Producer outruns the consumer 2:1 so the spill ledger keeps
+    // growing while pops keep consuming its prefix; the reclaim branch
+    // fires repeatedly at different ring offsets and FIFO must hold
+    // through every firing and through the final drain.
+    StreamQueue q(3);
+    std::size_t next = 0, expect = 0;
+    for (int step = 0; step < 3000; ++step) {
+        q.push({next++, 0.0, 1.0});
+        q.push({next++, 0.0, 1.0});
+        ASSERT_EQ(q.front().round, expect);
+        q.pop();
+        ++expect;
+    }
+    while (!q.empty()) {
+        ASSERT_EQ(q.front().round, expect++);
+        q.pop();
+    }
+    EXPECT_EQ(expect, next);
+    EXPECT_EQ(q.depth(), 0u);
+}
+
 TEST(StreamTelemetry, PercentilesFromExactBins)
 {
     Histogram hist(100);

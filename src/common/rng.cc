@@ -1,5 +1,7 @@
 #include "common/rng.hh"
 
+#include <cmath>
+
 namespace nisqpp {
 
 namespace {
@@ -73,6 +75,19 @@ Rng::uniformInt(std::uint64_t bound)
         }
     }
     return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t
+Rng::threshold(double p)
+{
+    if (p <= 0.0)
+        return 0;
+    if (p >= 1.0)
+        return std::uint64_t{1} << 53;
+    // uniform() < p  <=>  (next() >> 11) < ceil(p * 2^53): the draw
+    // is k * 2^-53 for an integer k, and scaling by a power of two is
+    // exact, so the ceil is the exact integer decision boundary.
+    return static_cast<std::uint64_t>(std::ceil(p * 0x1p53));
 }
 
 bool

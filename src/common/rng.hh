@@ -36,6 +36,22 @@ class Rng
     bool bernoulli(double p);
 
     /**
+     * Integer threshold such that coin(threshold(p)) makes exactly
+     * the same decision as `uniform() < p` from the same draw, with
+     * no int-to-double conversion on the hot path. Only meaningful
+     * for p in (0, 1); callers must special-case p <= 0 / p >= 1
+     * themselves, because bernoulli() consumes no draw there.
+     */
+    static std::uint64_t threshold(double p);
+
+    /** Bernoulli trial against a precomputed threshold (one draw). */
+    bool
+    coin(std::uint64_t thresh)
+    {
+        return (next() >> 11) < thresh;
+    }
+
+    /**
      * Derive an independent child generator; used to give each Monte
      * Carlo worker / lattice size its own stream from one master seed.
      */

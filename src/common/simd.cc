@@ -1,0 +1,96 @@
+#include "common/simd.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace nisqpp {
+namespace simd {
+
+namespace {
+
+Width &
+activeSlot()
+{
+    static Width w = detectWidth();
+    return w;
+}
+
+} // namespace
+
+Width
+detectWidth()
+{
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+    if (__builtin_cpu_supports("avx512f"))
+        return Width::V512;
+    if (__builtin_cpu_supports("avx2"))
+        return Width::V256;
+    return Width::Scalar;
+#else
+    // Non-x86 (or non-GNU) builds: the vector types still compile but
+    // there is no cheap probe for native backing; default to the
+    // 256-bit word, which lowers to NEON / scalar pairs acceptably.
+    return Width::V256;
+#endif
+}
+
+Width
+activeWidth()
+{
+    return activeSlot();
+}
+
+void
+setActiveWidth(Width w)
+{
+    activeSlot() = w;
+}
+
+const char *
+widthName(Width w)
+{
+    switch (w) {
+      case Width::Scalar:
+        return "scalar";
+      case Width::V256:
+        return "v256";
+      case Width::V512:
+        return "v512";
+    }
+    return "scalar";
+}
+
+bool
+parseWidth(const std::string &text, Width &out)
+{
+    if (text == "scalar")
+        out = Width::Scalar;
+    else if (text == "v256")
+        out = Width::V256;
+    else if (text == "v512")
+        out = Width::V512;
+    else
+        return false;
+    return true;
+}
+
+Width
+widthFromEnv(Width fallback, const char *var)
+{
+    const char *env = std::getenv(var);
+    if (!env || !*env)
+        return fallback;
+    Width w;
+    if (!parseWidth(env, w)) {
+        warn(std::string(var) + "='" + env +
+             "' is not one of scalar|v256|v512; keeping simd width = " +
+             widthName(fallback));
+        return fallback;
+    }
+    return w;
+}
+
+} // namespace simd
+} // namespace nisqpp

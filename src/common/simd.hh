@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Runtime SIMD width dispatch for the lane-packed batch decoders. The
+ * mesh and union-find batch engines are templated on a lane word type;
+ * this header provides the three word candidates — a plain 64-bit word
+ * and GNU-vector 256/512-bit words — plus a process-wide active width,
+ * chosen once at startup from CPUID and overridable by the validated
+ * `NISQPP_SIMD` env knob or the hard-failing `--simd` CLI flag.
+ *
+ * The vector types deliberately compile WITHOUT -mavx2/-mavx512f:
+ * GNU vector extensions lower to whatever the baseline ISA offers
+ * (SSE2 pairs, or plain scalar words), so selecting a wider word on
+ * older hardware is safe — it just packs more lanes per loop without
+ * the single-instruction step. CPUID therefore only picks the default
+ * that is *fastest*, not the widest that is *legal*, and tests can pin
+ * any width on any machine.
+ *
+ * Decoders latch the active width at construction (and build only that
+ * engine), so changing the width mid-run never mixes engines. Lane
+ * results are indexed by trial, not by lane geometry, and every
+ * exported counter is an order-independent per-trial sum — so decodes
+ * are bit-identical across widths and the golden net never sees which
+ * word stepped them.
+ */
+
+#ifndef NISQPP_COMMON_SIMD_HH
+#define NISQPP_COMMON_SIMD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace nisqpp {
+namespace simd {
+
+/** Lane word widths the batch engines can step. */
+enum class Width
+{
+    Scalar, ///< one 64-bit word per step
+    V256,   ///< 4 x 64-bit GNU vector (AVX2-sized)
+    V512    ///< 8 x 64-bit GNU vector (AVX-512-sized)
+};
+
+/** 64-bit lane word (the scalar dispatch target). */
+using W64 = std::uint64_t;
+
+#if defined(__GNUC__) || defined(__clang__)
+/** 256-bit lane word: four 64-bit elements stepped elementwise. */
+using W256 __attribute__((vector_size(32))) = std::uint64_t;
+/** 512-bit lane word: eight 64-bit elements stepped elementwise. */
+using W512 __attribute__((vector_size(64))) = std::uint64_t;
+#else
+using W256 = std::uint64_t;
+using W512 = std::uint64_t;
+#endif
+
+/** CPUID probe: the widest width with native SIMD backing. */
+Width detectWidth();
+
+/**
+ * The process-wide dispatch width. Defaults to detectWidth() on first
+ * use; batch decoders latch it at construction.
+ */
+Width activeWidth();
+
+/** Override the dispatch width (CLI/env plumbing and tests). */
+void setActiveWidth(Width w);
+
+/** Canonical token of @p w: "scalar", "v256" or "v512". */
+const char *widthName(Width w);
+
+/**
+ * Parse a width token ("scalar" | "v256" | "v512") into @p out.
+ * Returns false (out untouched) on anything else; the `--simd` flag
+ * turns that into a hard fatal(), the env twin into warn-and-ignore.
+ */
+bool parseWidth(const std::string &text, Width &out);
+
+/**
+ * Apply the NISQPP_SIMD env twin of --simd: returns the parsed width,
+ * or @p fallback when the variable is unset. Malformed values warn
+ * once and keep @p fallback, matching the NISQPP_BATCH contract. Read
+ * only on the CLI path so in-process runs never see the environment.
+ */
+Width widthFromEnv(Width fallback, const char *var = "NISQPP_SIMD");
+
+/**
+ * Element accessors bridging the lane word types: a plain uint64_t and
+ * the multi-element vectors. Batch stepping code is written against
+ * these, so one templated implementation serves every width.
+ * @{
+ */
+template <typename W>
+constexpr int
+elementsOf()
+{
+    return static_cast<int>(sizeof(W) / sizeof(std::uint64_t));
+}
+
+template <typename W>
+inline std::uint64_t
+elemOf(const W &w, int el)
+{
+    if constexpr (sizeof(W) == sizeof(std::uint64_t)) {
+        (void)el;
+        return w;
+    } else {
+        return w[el];
+    }
+}
+
+template <typename W>
+inline void
+orElem(W &w, int el, std::uint64_t v)
+{
+    if constexpr (sizeof(W) == sizeof(std::uint64_t)) {
+        (void)el;
+        w |= v;
+    } else {
+        w[el] |= v;
+    }
+}
+
+template <typename W>
+inline bool
+anyW(const W &w)
+{
+    if constexpr (sizeof(W) == sizeof(std::uint64_t))
+        return w != 0;
+    else {
+        std::uint64_t acc = 0;
+        for (int el = 0; el < elementsOf<W>(); ++el)
+            acc |= w[el];
+        return acc != 0;
+    }
+}
+/** @} */
+
+} // namespace simd
+} // namespace nisqpp
+
+#endif // NISQPP_COMMON_SIMD_HH

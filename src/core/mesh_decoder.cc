@@ -21,54 +21,12 @@ constexpr int dW = static_cast<int>(Dir::W);
 /// kRev[d] = index of the reversed travel direction.
 constexpr int kRev[kNumDirs] = {dS, dW, dN, dE};
 
-/**
- * Element accessors bridging the two lane word types: a plain uint64_t
- * (scalar engine) and the SIMD-friendly multi-element vector (batch
- * engine). All stepping code is written against these, so both engines
- * share one implementation.
- * @{
- */
-template <typename W>
-constexpr int
-elementsOf()
-{
-    return static_cast<int>(sizeof(W) / sizeof(std::uint64_t));
-}
-
-template <typename W>
-inline std::uint64_t
-elemOf(const W &w, int el)
-{
-    if constexpr (std::is_same_v<W, std::uint64_t>)
-        return w;
-    else
-        return w[el];
-}
-
-template <typename W>
-inline void
-orElem(W &w, int el, std::uint64_t v)
-{
-    if constexpr (std::is_same_v<W, std::uint64_t>)
-        w |= v;
-    else
-        w[el] |= v;
-}
-
-template <typename W>
-inline bool
-anyW(const W &w)
-{
-    if constexpr (std::is_same_v<W, std::uint64_t>)
-        return w != 0;
-    else {
-        std::uint64_t acc = 0;
-        for (int el = 0; el < elementsOf<W>(); ++el)
-            acc |= w[el];
-        return acc != 0;
-    }
-}
-/** @} */
+// Element accessors bridging the lane word types live in common/simd.hh
+// so the union-find batch engine shares them.
+using simd::anyW;
+using simd::elementsOf;
+using simd::elemOf;
+using simd::orElem;
 
 } // namespace
 
@@ -163,13 +121,29 @@ MeshDecoder::buildEngine(LaneEngine<W> &e, int max_lanes) const
 MeshDecoder::MeshDecoder(const SurfaceLattice &lattice, ErrorType type,
                          const MeshConfig &config)
     : Decoder(lattice, type), config_(config),
-      span_(lattice.gridSize() + 2)
+      span_(lattice.gridSize() + 2), width_(simd::activeWidth())
 {
     require(span_ <= 62, "MeshDecoder: lattice too wide for 64-bit rows");
     cycleCap_ = 128 * span_;
     quiescence_ = 3 * span_ + 10;
     buildEngine(scalar_, 1);
-    buildEngine(batch_, kMaxLanes);
+    // Build only the latched width's batch engine: lane results are
+    // indexed by trial and identical across widths, so the choice only
+    // moves throughput (and the memory of the unbuilt engines).
+    switch (width_) {
+      case simd::Width::Scalar:
+        buildEngine(batch64_, kMaxLanes);
+        batchLanes_ = batch64_.lanes;
+        break;
+      case simd::Width::V256:
+        buildEngine(batch256_, kMaxLanes);
+        batchLanes_ = batch256_.lanes;
+        break;
+      case simd::Width::V512:
+        buildEngine(batch512_, kMaxLanes);
+        batchLanes_ = batch512_.lanes;
+        break;
+    }
 }
 
 template <typename W>
@@ -485,8 +459,20 @@ MeshDecoder::decodeBatch(const Syndrome *const *syndromes,
         ws.laneCorrections[i].clear();
         outScratch_[i] = &ws.laneCorrections[i];
     }
-    decodeLanes(batch_, syndromes, static_cast<int>(count),
-                outScratch_.data(), batchStats_.data());
+    switch (width_) {
+      case simd::Width::Scalar:
+        decodeLanes(batch64_, syndromes, static_cast<int>(count),
+                    outScratch_.data(), batchStats_.data());
+        break;
+      case simd::Width::V256:
+        decodeLanes(batch256_, syndromes, static_cast<int>(count),
+                    outScratch_.data(), batchStats_.data());
+        break;
+      case simd::Width::V512:
+        decodeLanes(batch512_, syndromes, static_cast<int>(count),
+                    outScratch_.data(), batchStats_.data());
+        break;
+    }
 }
 
 const MeshDecodeStats *

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "core/mesh_config.hh"
 #include "core/mesh_stats.hh"
 #include "core/module_logic.hh"
@@ -64,20 +65,17 @@ namespace nisqpp {
 class MeshDecoder : public Decoder
 {
   public:
-    /** Largest lane count any batch geometry uses. */
-    static constexpr int kMaxLanes = 32;
+    /** Largest lane count any batch geometry uses (v512 at d = 3). */
+    static constexpr int kMaxLanes = 64;
 
-#if defined(__GNUC__) || defined(__clang__)
     /**
-     * Word type of the lane-packed batch engine: four independent
-     * 64-bit elements stepped together (every plane operation is
-     * elementwise, so the compiler is free to use SIMD); each element
-     * carries 64/span sub-lanes behind guard masks.
+     * Historical name of the 256-bit batch word; the batch engine now
+     * dispatches at runtime between simd::W64/W256/W512 (the width is
+     * latched from simd::activeWidth() at construction), and every
+     * lane's corrections and telemetry are bit-identical across
+     * widths — only throughput moves.
      */
-    using BatchWord __attribute__((vector_size(32))) = std::uint64_t;
-#else
-    using BatchWord = std::uint64_t;
-#endif
+    using BatchWord = simd::W256;
 
     MeshDecoder(const SurfaceLattice &lattice, ErrorType type,
                 const MeshConfig &config = MeshConfig::finalDesign());
@@ -118,10 +116,13 @@ class MeshDecoder : public Decoder
     const MeshDecodeStats &lastStats() const { return batchStats_[0]; }
 
     /**
-     * Trials the batch engine steps concurrently: elements(BatchWord)
+     * Trials the batch engine steps concurrently: elements(lane word)
      * x (64 / span), capped at kMaxLanes.
      */
-    int batchLanes() const { return batch_.lanes; }
+    int batchLanes() const { return batchLanes_; }
+
+    /** Lane word width the batch engine was latched to (telemetry). */
+    simd::Width batchWidth() const { return width_; }
 
     /** Hard cap on simulated cycles per decode. */
     int cycleCap() const { return cycleCap_; }
@@ -228,8 +229,18 @@ class MeshDecoder : public Decoder
     int cycleCap_;
     int quiescence_;
 
+    /** Dispatch width latched at construction (simd::activeWidth). */
+    simd::Width width_;
+
     LaneEngine<std::uint64_t> scalar_; ///< one lane: decode()
-    LaneEngine<BatchWord> batch_;      ///< packed lanes: decodeBatch()
+    /** Packed-lane engines; only the latched width's is built. @{ */
+    LaneEngine<simd::W64> batch64_;
+    LaneEngine<simd::W256> batch256_;
+    LaneEngine<simd::W512> batch512_;
+    /** @} */
+
+    /** Lane count of the latched batch engine. */
+    int batchLanes_ = 1;
 
     /** Telemetry of the last decode, one entry per lane decoded. */
     std::vector<MeshDecodeStats> batchStats_{1};

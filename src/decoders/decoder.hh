@@ -113,6 +113,19 @@ class Decoder
     virtual bool windowAware() const { return false; }
 
     /**
+     * Whether applying this decoder's correction is guaranteed to
+     * clear the decoded syndrome exactly (re-extracting after the
+     * commit yields zero). True for the exact matchers — MWPM and
+     * greedy always produce complete matchings — and for union-find,
+     * whose peel drains every interior vertex by construction. False
+     * by default: the mesh is approximate (cycle caps and quiescence
+     * exits can strand hot modules), and the streaming pipeline's
+     * batched consumer relies on this property to difference
+     * consecutive syndromes, so it must never be claimed loosely.
+     */
+    virtual bool correctionClearsSyndrome() const { return false; }
+
+    /**
      * Mesh telemetry of lane @p lane of the most recent decode (a
      * scalar decode fills lane 0 only). Null for decoders without mesh
      * telemetry and for lanes past the last decode's batch size —

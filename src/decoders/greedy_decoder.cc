@@ -21,8 +21,25 @@ GreedyDecoder::decode(const Syndrome &syndrome)
 void
 GreedyDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
 {
+    decodeInto(syndrome, ws, ws.correction);
+}
+
+void
+GreedyDecoder::decodeBatch(const Syndrome *const *syndromes,
+                           std::size_t count, TrialWorkspace &ws)
+{
+    if (ws.laneCorrections.size() < count)
+        ws.laneCorrections.resize(count);
+    for (std::size_t i = 0; i < count; ++i)
+        decodeInto(*syndromes[i], ws, ws.laneCorrections[i]);
+}
+
+void
+GreedyDecoder::decodeInto(const Syndrome &syndrome, TrialWorkspace &ws,
+                          Correction &out)
+{
     pairs_.clear();
-    ws.correction.clear();
+    out.clear();
     ws.graph.build(lattice(), type(), syndrome);
     const MatchingGraph &graph = ws.graph;
     const int k = graph.numNodes();
@@ -58,7 +75,7 @@ GreedyDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
             pairs_.push_back({graph.ancillaOf(e.i), -1, true});
             appendChainToBoundary(lattice(), type(),
                                   graph.ancillaOf(e.i),
-                                  ws.correction.dataFlips);
+                                  out.dataFlips);
         } else if (!matched[e.j]) {
             matched[e.i] = matched[e.j] = 1;
             pairs_.push_back({graph.ancillaOf(e.i), graph.ancillaOf(e.j),
@@ -66,7 +83,7 @@ GreedyDecoder::decode(const Syndrome &syndrome, TrialWorkspace &ws)
             appendChainBetweenAncillas(lattice(), type(),
                                        graph.ancillaOf(e.i),
                                        graph.ancillaOf(e.j),
-                                       ws.correction.dataFlips);
+                                       out.dataFlips);
         }
     }
 }

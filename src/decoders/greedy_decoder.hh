@@ -26,12 +26,29 @@ class GreedyDecoder : public Decoder
     Correction decode(const Syndrome &syndrome) override;
     void decode(const Syndrome &syndrome, TrialWorkspace &ws) override;
 
+    /**
+     * Batch decode straight into the lane buffers: each trial's chains
+     * are appended to ws.laneCorrections[i] directly instead of
+     * detouring through ws.correction and swapping afterwards (the
+     * base-class fallback), so the hot loop touches one buffer per
+     * lane and every buffer keeps its high-water capacity.
+     */
+    void decodeBatch(const Syndrome *const *syndromes, std::size_t count,
+                     TrialWorkspace &ws) override;
+
+    /** Every node is matched (to a partner or its boundary). */
+    bool correctionClearsSyndrome() const override { return true; }
+
     std::string name() const override { return "greedy"; }
 
     /** Pairing decisions of the last decode. */
     const std::vector<MatchPair> &lastMatching() const { return pairs_; }
 
   private:
+    /** Shared matcher body writing chains into @p out. */
+    void decodeInto(const Syndrome &syndrome, TrialWorkspace &ws,
+                    Correction &out);
+
     std::vector<MatchPair> pairs_;
 };
 

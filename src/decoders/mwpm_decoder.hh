@@ -39,6 +39,9 @@ class MwpmDecoder : public Decoder
                       TrialWorkspace &ws) override;
     bool windowAware() const override { return true; }
 
+    /** A perfect matching's chains reproduce the syndrome exactly. */
+    bool correctionClearsSyndrome() const override { return true; }
+
     std::string name() const override { return "mwpm"; }
 
     /** The pairing decisions of the last decode (for inspection). */

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 #include "engine/scenarios.hh"
 #include "obs/report.hh"
 #include "obs/trace.hh"
@@ -318,7 +319,8 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
     if (withScenario)
         os << " [--scenario] NAME";
     os << " [--threads N] [--shard-trials N] [--trials-scale X]"
-          " [--seed S] [--batch N] [--format table|csv|json]"
+          " [--seed S] [--batch N] [--simd scalar|v256|v512]"
+          " [--format table|csv|json]"
           " [--metrics-out FILE] [--trace-out FILE]"
           " [--checkpoint FILE] [--checkpoint-interval N]"
           " [--resume FILE] [--escalate-threshold X]"
@@ -352,6 +354,10 @@ printUsage(std::ostream &os, const std::string &binary, bool withScenario)
     os << "NISQPP_BATCH (env) / --batch N group N rounds per decode"
           " batch (1 = scalar;\nlane-packed mesh decoding otherwise;"
           " aggregates are identical either way).\n";
+    os << "NISQPP_SIMD (env) / --simd scalar|v256|v512 pin the"
+          " lane-word width of the\nbatch substrates (default: widest"
+          " the CPU supports); results are\nbit-identical at every"
+          " width.\n";
     os << "\n--checkpoint FILE periodically persists the sweep's shard"
           " ledger (atomic\ntemp+fsync+rename writes; SIGINT/SIGTERM"
           " write a final checkpoint and exit " +
@@ -389,6 +395,12 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
 {
     ParsedArgs parsed;
     parsed.options.batchLanes = batchLanesFromEnv(1);
+    // NISQPP_SIMD retargets the lane-packed decode substrates before
+    // any decoder is built; like every env knob it warns and keeps the
+    // CPUID default on an invalid value, while --simd below fails
+    // hard. Read only here (the CLI path): in-process scenario runs —
+    // the golden net in particular — never see the environment.
+    simd::setActiveWidth(simd::widthFromEnv(simd::activeWidth()));
     parsed.options.checkpointInterval = ckpt::checkpointIntervalFromEnv(
         ckpt::kDefaultCheckpointInterval);
     // Env twin first so explicit --fault-* flags override it. Read
@@ -438,6 +450,11 @@ parseArgs(int argc, char **argv, bool scenarioFlagAllowed)
                 fatal("--batch: expected an integer in [1, " +
                       std::to_string(kMaxBatchLanes) + "]");
             parsed.options.batchLanes = static_cast<std::size_t>(v);
+        } else if (arg == "--simd") {
+            simd::Width width;
+            if (!simd::parseWidth(value(), width))
+                fatal("--simd: expected scalar, v256 or v512");
+            simd::setActiveWidth(width);
         } else if (arg == "--escalate-threshold") {
             const double v = numericValue(arg, value());
             if (!(v >= 0.0) || v > 1.0)

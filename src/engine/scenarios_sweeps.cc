@@ -255,8 +255,13 @@ microHotpath(ScenarioContext &ctx)
     const std::vector<DecoderFamily> &families = decoderFamilies();
     const std::vector<int> distances{3, 5, 7, 9};
 
-    /** Round-group size of the forced-batch mesh rows. */
-    constexpr std::size_t kBatchRows = 256;
+    /**
+     * Round-group size of the forced-batch rows: one full shard
+     * (EngineOptions::shardTrials), which also fills the widest
+     * (512-bit) union-find lane engine so every shared bit-plane
+     * sweep is amortized over a whole word of lanes.
+     */
+    constexpr std::size_t kBatchRows = 512;
 
     // Fixed budgets, no early stop: wall time divides cleanly into
     // per-decode cost. Every family at one distance reuses the same
@@ -342,6 +347,14 @@ microHotpath(ScenarioContext &ctx)
     // sfq_mesh rows is a lane-equivalence bug (bench_compare checks).
     addRows("sfq_mesh_batch",
             families[decoderFamilyIndex("sfq_mesh")].factory,
+            kBatchRows);
+    // Union-find through its lane-packed batch engine (bit-plane
+    // support counters, shared word-parallel edge sweeps): same cells,
+    // same seeds as the union_find rows, so any PL deviation is a
+    // lane-equivalence bug (bench_compare checks). The trials/s ratio
+    // against union_find is the tracked speedup of this substrate.
+    addRows("union_find_batch",
+            families[decoderFamilyIndex("union_find")].factory,
             kBatchRows);
     ctx.table("hotpath", table);
 

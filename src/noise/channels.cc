@@ -7,7 +7,7 @@
 namespace nisqpp {
 
 DepolarizingChannel::DepolarizingChannel(double p)
-    : p_(p)
+    : p_(p), thresh_(Rng::threshold(p))
 {
     require(p >= 0.0 && p <= 1.0, "DepolarizingChannel: p out of [0,1]");
 }
@@ -16,8 +16,10 @@ void
 DepolarizingChannel::sampleInto(Rng &rng, ErrorState &state) const
 {
     const int n = state.lattice().numData();
+    if (p_ <= 0.0)
+        return; // bernoulli(p <= 0) consumes no draw; neither may we
     for (int q = 0; q < n; ++q) {
-        if (!rng.bernoulli(p_))
+        if (p_ < 1.0 && !rng.coin(thresh_))
             continue;
         switch (rng.uniformInt(3)) {
           case 0: state.inject(q, Pauli::X); break;
@@ -28,7 +30,7 @@ DepolarizingChannel::sampleInto(Rng &rng, ErrorState &state) const
 }
 
 DephasingChannel::DephasingChannel(double p)
-    : p_(p)
+    : p_(p), thresh_(Rng::threshold(p))
 {
     require(p >= 0.0 && p <= 1.0, "DephasingChannel: p out of [0,1]");
 }
@@ -37,13 +39,20 @@ void
 DephasingChannel::sampleInto(Rng &rng, ErrorState &state) const
 {
     const int n = state.lattice().numData();
+    if (p_ <= 0.0)
+        return; // bernoulli(p <= 0) consumes no draw; neither may we
+    if (p_ >= 1.0) {
+        for (int q = 0; q < n; ++q)
+            state.inject(q, Pauli::Z);
+        return;
+    }
     for (int q = 0; q < n; ++q)
-        if (rng.bernoulli(p_))
+        if (rng.coin(thresh_))
             state.inject(q, Pauli::Z);
 }
 
 BiasedEtaChannel::BiasedEtaChannel(double p, double eta)
-    : p_(p), eta_(eta)
+    : p_(p), eta_(eta), thresh_(Rng::threshold(p))
 {
     require(p >= 0.0 && p <= 1.0, "BiasedEtaChannel: p out of [0,1]");
     require(eta > 0.0, "BiasedEtaChannel: eta must be positive");
@@ -60,8 +69,10 @@ BiasedEtaChannel::sampleInto(Rng &rng, ErrorState &state) const
 {
     const int n = state.lattice().numData();
     const double z_share = eta_ / (1.0 + eta_);
+    if (p_ <= 0.0)
+        return; // bernoulli(p <= 0) consumes no draw; neither may we
     for (int q = 0; q < n; ++q) {
-        if (!rng.bernoulli(p_))
+        if (p_ < 1.0 && !rng.coin(thresh_))
             continue;
         if (rng.bernoulli(z_share))
             state.inject(q, Pauli::Z);
@@ -72,7 +83,7 @@ BiasedEtaChannel::sampleInto(Rng &rng, ErrorState &state) const
 }
 
 ErasureChannel::ErasureChannel(double p)
-    : p_(p)
+    : p_(p), thresh_(Rng::threshold(p))
 {
     require(p >= 0.0 && p <= 1.0, "ErasureChannel: p out of [0,1]");
 }
@@ -83,8 +94,10 @@ ErasureChannel::sampleInto(Rng &rng, ErrorState &state) const
     const int n = state.lattice().numData();
     if (marks_.size() != static_cast<std::size_t>(n))
         marks_.resize(n);
+    if (p_ <= 0.0)
+        return; // bernoulli(p <= 0) consumes no draw; neither may we
     for (int q = 0; q < n; ++q) {
-        if (!rng.bernoulli(p_))
+        if (p_ < 1.0 && !rng.coin(thresh_))
             continue;
         marks_.set(q, true);
         switch (rng.uniformInt(4)) {
@@ -97,7 +110,7 @@ ErasureChannel::sampleInto(Rng &rng, ErrorState &state) const
 }
 
 MeasurementFlipChannel::MeasurementFlipChannel(double q)
-    : q_(q)
+    : q_(q), thresh_(Rng::threshold(q))
 {
     require(q >= 0.0 && q <= 1.0,
             "MeasurementFlipChannel: q out of [0,1]");
@@ -106,11 +119,16 @@ MeasurementFlipChannel::MeasurementFlipChannel(double q)
 void
 MeasurementFlipChannel::corrupt(Rng &rng, Syndrome &syndrome) const
 {
-    if (q_ == 0.0)
+    if (q_ <= 0.0)
         return;
     const int n = syndrome.size();
+    if (q_ >= 1.0) { // bernoulli(q >= 1) consumes no draw
+        for (int a = 0; a < n; ++a)
+            syndrome.flip(a);
+        return;
+    }
     for (int a = 0; a < n; ++a)
-        if (rng.bernoulli(q_))
+        if (rng.coin(thresh_))
             syndrome.flip(a);
 }
 

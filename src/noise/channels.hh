@@ -13,6 +13,7 @@
 #ifndef NISQPP_NOISE_CHANNELS_HH
 #define NISQPP_NOISE_CHANNELS_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -55,6 +56,7 @@ class DepolarizingChannel : public NoiseChannel
 
   private:
     double p_;
+    std::uint64_t thresh_; ///< Rng::threshold(p), hot-loop coin
 };
 
 /** Pauli Z with probability p per data qubit (the paper's headline). */
@@ -70,6 +72,7 @@ class DephasingChannel : public NoiseChannel
 
   private:
     double p_;
+    std::uint64_t thresh_; ///< Rng::threshold(p), hot-loop coin
 };
 
 /**
@@ -92,6 +95,7 @@ class BiasedEtaChannel : public NoiseChannel
   private:
     double p_;
     double eta_;
+    std::uint64_t thresh_; ///< Rng::threshold(p), hot-loop coin
 };
 
 /**
@@ -119,6 +123,7 @@ class ErasureChannel : public NoiseChannel
 
   private:
     double p_;
+    std::uint64_t thresh_; ///< Rng::threshold(p), hot-loop coin
     mutable PackedBits marks_;
 };
 
@@ -139,6 +144,7 @@ class MeasurementFlipChannel
 
   private:
     double q_;
+    std::uint64_t thresh_; ///< Rng::threshold(q), hot-loop coin
 };
 
 } // namespace nisqpp

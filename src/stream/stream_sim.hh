@@ -66,6 +66,21 @@ struct StreamConfig
     faults::FaultSpec faults;
     faults::RecoveryPolicy recovery;
     /** @} */
+
+    /**
+     * Rounds drained per decodeBatch group (--batch, NISQPP_BATCH):
+     * 1 decodes every round scalar; larger values let the consumer
+     * gather up to this many produced rounds and decode them through
+     * the decoder's lane-packed decodeBatch in one call, replaying the
+     * virtual-clock timeline round by round afterwards. The batched
+     * consumer engages only when it is provably equivalent — per-round
+     * pipeline, a decoder whose corrections annihilate their syndrome
+     * (correctionClearsSyndrome), no tiered escalation and no load
+     * shedding — and falls back to the scalar path otherwise; rounds
+     * struck by injected faults always run scalar. Every result field
+     * and metric is byte-identical either way.
+     */
+    std::size_t batchLanes = 1;
 };
 
 /** Aggregates and telemetry of one streaming run. */

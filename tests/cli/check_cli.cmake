@@ -131,6 +131,21 @@ check_cli(bad_batch_negative FALSE ERR
           "--batch: expected an integer"
           --scenario fig01_sqv --batch -4)
 
+# Bad --simd widths are rejected at the flag level (the NISQPP_SIMD
+# env path warns and keeps the CPUID default instead; covered by
+# tests/common/test_simd.cc). Happy path: any named width runs.
+check_cli(bad_simd_width FALSE ERR
+          "--simd: expected scalar, v256 or v512"
+          --scenario fig01_sqv --simd avx2)
+check_cli(bad_simd_case FALSE ERR
+          "--simd: expected scalar, v256 or v512"
+          --scenario fig01_sqv --simd V512)
+check_cli(simd_missing_value FALSE ERR
+          "--simd: missing value"
+          fig01_sqv --simd)
+check_cli(simd_happy_scalar TRUE OUT "SQV"
+          fig01_sqv --trials-scale 0.05 --simd scalar)
+
 # Observability sinks fail fast on unwritable paths: the run must not
 # start (and then silently lose its report) when the file can't open.
 check_cli(bad_metrics_out FALSE ERR

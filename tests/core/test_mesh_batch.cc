@@ -79,23 +79,45 @@ expectBatchMatchesScalar(MeshDecoder &reference, MeshDecoder &batched,
     EXPECT_EQ(batched.meshStats(syns.size()), nullptr) << label;
 }
 
-TEST(MeshBatch, LaneCountTracksSpan)
+/** 64-bit elements of the lane word behind a dispatch width. */
+int
+elementsOfWidth(simd::Width w)
+{
+    switch (w) {
+      case simd::Width::Scalar:
+        return 1;
+      case simd::Width::V256:
+        return 4;
+      case simd::Width::V512:
+        return 8;
+    }
+    return 1;
+}
+
+TEST(MeshBatch, LaneCountTracksSpanAndWidth)
 {
     // Lane width is the row span 2d + 1 (the grid plus the boundary
-    // ring), so each 64-bit element of the batch word carries
-    // 64 / span sub-lanes and the engine steps elements x that many
-    // trials at once, capped at kMaxLanes.
-    constexpr int elements =
-        static_cast<int>(sizeof(MeshDecoder::BatchWord) / 8);
-    for (int d : {3, 5, 7, 9}) {
-        SurfaceLattice lat(d);
-        const int span = lat.gridSize() + 2;
-        const int expected = std::min(MeshDecoder::kMaxLanes,
-                                      elements * (64 / span));
-        EXPECT_EQ(MeshDecoder(lat, ErrorType::Z).batchLanes(), expected)
-            << "d=" << d;
-        EXPECT_GE(expected, 4) << "d=" << d;
+    // ring), so each 64-bit element of the dispatched lane word
+    // carries 64 / span sub-lanes and the engine steps elements x that
+    // many trials at once, capped at kMaxLanes. Pinned at every
+    // dispatch width, not just the CPUID default.
+    const simd::Width before = simd::activeWidth();
+    for (simd::Width w : {simd::Width::Scalar, simd::Width::V256,
+                          simd::Width::V512}) {
+        simd::setActiveWidth(w);
+        for (int d : {3, 5, 7, 9}) {
+            SurfaceLattice lat(d);
+            const int span = lat.gridSize() + 2;
+            const int expected =
+                std::min(MeshDecoder::kMaxLanes,
+                         elementsOfWidth(w) * (64 / span));
+            MeshDecoder mesh(lat, ErrorType::Z);
+            EXPECT_EQ(mesh.batchWidth(), w) << "d=" << d;
+            EXPECT_EQ(mesh.batchLanes(), expected) << "d=" << d;
+            EXPECT_GE(expected, 1) << "d=" << d;
+        }
     }
+    simd::setActiveWidth(before);
 }
 
 TEST(MeshBatch, MatchesScalarAcrossDistancesAndVariants)

@@ -159,6 +159,41 @@ TEST(EngineDeterminism, BatchedDepolarizingSweepMatchesScalar)
                     b.runSweep(config, factory));
 }
 
+TEST(EngineDeterminism, UnionFindLaneAndThreadGridIsInvariant)
+{
+    // The lane-packed union-find batch engine under the full grid of
+    // batch lanes {1, 4, 64} x threads {1, 4}: every combination must
+    // produce the same bytes as the scalar single-threaded reference,
+    // including the bit-planed growth rounds folded into the cycle
+    // statistics.
+    SweepConfig config;
+    config.distances = {3, 5};
+    config.physicalRates = {0.04, 0.09};
+    config.lifetimeMode = true;
+    config.stopRule = {500, 500, 1u << 30};
+    config.seed = 0x0f00dULL;
+    const auto factory = unionFindDecoderFactory();
+
+    EngineOptions reference;
+    reference.threads = 1;
+    reference.shardTrials = 96;
+    reference.batchLanes = 1;
+    Engine ref(reference);
+    const SweepResult expected = ref.runSweep(config, factory);
+
+    for (std::size_t lanes : {1u, 4u, 64u}) {
+        for (int threads : {1, 4}) {
+            EngineOptions options = reference;
+            options.batchLanes = lanes;
+            options.threads = threads;
+            Engine engine(options);
+            SCOPED_TRACE("lanes=" + std::to_string(lanes) +
+                         " threads=" + std::to_string(threads));
+            expectIdentical(expected, engine.runSweep(config, factory));
+        }
+    }
+}
+
 TEST(EngineDeterminism, WindowedSweepIsThreadAndLaneInvariant)
 {
     // The faulty-measurement windowed protocol inherits the headline

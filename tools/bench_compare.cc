@@ -11,9 +11,10 @@
  * difference on a (decoder, d) row present in both artifacts is a
  * hard failure — throughput work must never change trajectories.
  * Rows that exist only in the current artifact are reported as new;
- * rows that disappeared fail. As an internal consistency check, the
- * sfq_mesh_batch rows of each artifact must carry byte-identical PL
- * to that artifact's sfq_mesh rows (the lane-packed path re-decodes
+ * rows that disappeared fail. As an internal consistency check, each
+ * forced-batch row family of an artifact (sfq_mesh_batch,
+ * union_find_batch) must carry byte-identical PL to that artifact's
+ * scalar rows of the same decoder (the lane-packed paths re-decode
  * the same cells). Throughput columns are reported as speedup ratios,
  * never compared: they are host-dependent by nature.
  *
@@ -327,27 +328,38 @@ loadHotpath(const std::string &path, const JsonValue &doc)
     throw std::runtime_error(path + ": no table with id 'hotpath'");
 }
 
-/** sfq_mesh_batch rows must mirror sfq_mesh PL within one artifact. */
+/**
+ * Forced-batch rows must mirror their scalar family's PL within one
+ * artifact: the lane-packed paths re-decode the very same cells, so
+ * any deviation is a lane-equivalence bug, not a measurement effect.
+ */
 int
 checkInternalBatchParity(const std::map<RowKey, HotpathRow> &rows,
                          const std::string &label)
 {
+    static const std::pair<const char *, const char *> kPairs[] = {
+        {"sfq_mesh_batch", "sfq_mesh"},
+        {"union_find_batch", "union_find"},
+    };
     int drift = 0;
-    for (const auto &[key, row] : rows) {
-        if (key.first != "sfq_mesh_batch")
-            continue;
-        const auto scalarIt = rows.find({"sfq_mesh", key.second});
-        if (scalarIt == rows.end())
-            continue;
-        if (row.pl != scalarIt->second.pl ||
-            row.trials != scalarIt->second.trials) {
-            std::cerr << "FAIL " << label << ": sfq_mesh_batch d="
-                      << key.second << " PL=" << row.pl << " trials="
-                      << row.trials << " != sfq_mesh PL="
-                      << scalarIt->second.pl << " trials="
-                      << scalarIt->second.trials
-                      << " (lane-equivalence drift)\n";
-            ++drift;
+    for (const auto &[batchName, scalarName] : kPairs) {
+        for (const auto &[key, row] : rows) {
+            if (key.first != batchName)
+                continue;
+            const auto scalarIt = rows.find({scalarName, key.second});
+            if (scalarIt == rows.end())
+                continue;
+            if (row.pl != scalarIt->second.pl ||
+                row.trials != scalarIt->second.trials) {
+                std::cerr << "FAIL " << label << ": " << batchName
+                          << " d=" << key.second << " PL=" << row.pl
+                          << " trials=" << row.trials << " != "
+                          << scalarName
+                          << " PL=" << scalarIt->second.pl
+                          << " trials=" << scalarIt->second.trials
+                          << " (lane-equivalence drift)\n";
+                ++drift;
+            }
         }
     }
     return drift;
